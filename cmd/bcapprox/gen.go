@@ -1,0 +1,28 @@
+package main
+
+import (
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Thin wrappers keeping main.go's generator table tidy.
+
+func genRMAT(scale, ef int, seed uint64) *graph.Graph {
+	return gen.RMAT(gen.Graph500(scale, ef, seed))
+}
+
+func genHyp(n, deg int, seed uint64) *graph.Graph {
+	return gen.Hyperbolic(gen.HyperbolicParams{N: n, AvgDegree: float64(deg), Gamma: 3, Seed: seed})
+}
+
+func genRoad(rows, cols int, seed uint64) *graph.Graph {
+	return gen.Road(gen.RoadParams{Rows: rows, Cols: cols, DeleteProb: 0.1, DiagonalProb: 0.03, Seed: seed})
+}
+
+func genER(n, m int, seed uint64) *graph.Graph {
+	return gen.ErdosRenyi(n, m, seed)
+}
+
+func genBA(n, k int, seed uint64) *graph.Graph {
+	return gen.BarabasiAlbert(n, k, seed)
+}

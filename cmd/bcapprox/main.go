@@ -1,0 +1,197 @@
+// Command bcapprox approximates betweenness centrality with the KADABRA
+// family of algorithms reproduced in this repository.
+//
+// Modes:
+//
+//	-mode seq    sequential KADABRA
+//	-mode shm    shared-memory epoch-based parallelization (the paper's
+//	             baseline, Ref. 24)
+//	-mode dist   epoch-based MPI parallelization (paper Algorithm 2) over
+//	             -procs in-process ranks
+//	-mode alg1   pure-MPI parallelization (paper Algorithm 1)
+//	-mode tcp    Algorithm 2 as one rank of a TCP world: requires -rank and
+//	             -hosts (comma-separated host:port list, one per rank);
+//	             start one OS process per rank
+//
+// Input is either -graph FILE (text edge list or .bcsr binary) or a
+// generator spec via -gen, e.g.:
+//
+//	-gen rmat:scale=16,ef=16  -gen hyp:n=100000,deg=30  -gen road:rows=300,cols=300
+//
+// Example:
+//
+//	bcapprox -gen rmat:scale=14,ef=16 -eps 0.01 -mode dist -procs 4 -threads 6 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kadabra"
+	"repro/internal/mpi"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (edge list or .bcsr)")
+		genSpec   = flag.String("gen", "", "generator spec, e.g. rmat:scale=14,ef=16")
+		eps       = flag.Float64("eps", 0.01, "absolute approximation error")
+		delta     = flag.Float64("delta", 0.1, "failure probability")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		mode      = flag.String("mode", "shm", "seq | shm | dist | alg1 | tcp")
+		procs     = flag.Int("procs", 2, "processes for dist/alg1 modes")
+		threads   = flag.Int("threads", 4, "sampling threads per process")
+		ranksPer  = flag.Int("ranks-per-node", 0, "enable hierarchical aggregation with this group size")
+		topK      = flag.Int("top", 10, "print the top-k vertices")
+		rank      = flag.Int("rank", -1, "this process's rank (tcp mode)")
+		hosts     = flag.String("hosts", "", "comma-separated host:port per rank (tcp mode)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *genSpec)
+	if err != nil {
+		fatal(err)
+	}
+	g, _ = graph.LargestComponent(g)
+	fmt.Printf("graph: %d nodes, %d edges (largest connected component)\n", g.NumNodes(), g.NumEdges())
+
+	kcfg := kadabra.Config{Eps: *eps, Delta: *delta, Seed: *seed}
+	start := time.Now()
+	var res *kadabra.Result
+
+	switch *mode {
+	case "seq":
+		res, err = kadabra.Sequential(g, kcfg)
+	case "shm":
+		res, err = kadabra.SharedMemory(g, *threads, kcfg)
+	case "dist", "alg1":
+		variant := core.VariantEpoch
+		if *mode == "alg1" {
+			variant = core.VariantPureMPI
+		}
+		var dres *core.Result
+		dres, err = core.RunLocal(g, *procs, core.Config{
+			Config:       kcfg,
+			Threads:      *threads,
+			RanksPerNode: *ranksPer,
+		}, variant)
+		if err == nil {
+			res = dres.Res
+			fmt.Printf("epochs: %d, barrier wait: %v, reduce: %v, comm/epoch: %.2f MiB\n",
+				dres.Stats.Epochs, dres.Stats.BarrierWait, dres.Stats.ReduceTime,
+				float64(dres.Stats.CommVolumePerEpoch)/(1<<20))
+		}
+	case "tcp":
+		if *rank < 0 || *hosts == "" {
+			fatal(fmt.Errorf("tcp mode requires -rank and -hosts"))
+		}
+		addrs := strings.Split(*hosts, ",")
+		comm, closer, cerr := mpi.ConnectTCP(*rank, addrs, 30*time.Second)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		defer closer.Close()
+		var dres *core.Result
+		dres, err = core.Algorithm2(g, comm, core.Config{
+			Config:       kcfg,
+			Threads:      *threads,
+			RanksPerNode: *ranksPer,
+		})
+		if err == nil {
+			if berr := comm.Barrier(); berr != nil {
+				fatal(berr)
+			}
+			if comm.Rank() != 0 {
+				fmt.Println("rank done (result at rank 0)")
+				return
+			}
+			res = dres.Res
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("done in %v: tau=%d omega=%.0f vertex-diameter=%d\n",
+		time.Since(start).Round(time.Millisecond), res.Tau, res.Omega, res.VertexDiameter)
+	fmt.Printf("phases: diameter=%v calibration=%v sampling=%v\n",
+		res.Timings.Diameter.Round(time.Millisecond),
+		res.Timings.Calibration.Round(time.Millisecond),
+		res.Timings.Sampling.Round(time.Millisecond))
+	fmt.Printf("top-%d vertices by approximate betweenness:\n", *topK)
+	for i, v := range res.TopK(*topK) {
+		fmt.Printf("  %2d. vertex %8d  b~ = %.6f\n", i+1, v, res.Betweenness[v])
+	}
+}
+
+// loadGraph resolves the -graph/-gen flags.
+func loadGraph(path, spec string) (*graph.Graph, error) {
+	switch {
+	case path != "" && spec != "":
+		return nil, fmt.Errorf("pass either -graph or -gen, not both")
+	case path != "":
+		return graph.LoadFile(path)
+	case spec != "":
+		return ParseGenSpec(spec)
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -gen SPEC")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcapprox:", err)
+	os.Exit(1)
+}
+
+// ParseGenSpec parses "kind:key=val,key=val" generator specs shared by the
+// command-line tools.
+func ParseGenSpec(spec string) (*graph.Graph, error) {
+	return parseGenSpec(spec)
+}
+
+func parseGenSpec(spec string) (*graph.Graph, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	params := map[string]int{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad generator parameter %q", kv)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad generator value %q: %v", kv, err)
+			}
+			params[k] = n
+		}
+	}
+	get := func(k string, def int) int {
+		if v, ok := params[k]; ok {
+			return v
+		}
+		return def
+	}
+	seed := uint64(get("seed", 1))
+	switch kind {
+	case "rmat":
+		return genRMAT(get("scale", 14), get("ef", 16), seed), nil
+	case "hyp":
+		return genHyp(get("n", 100000), get("deg", 30), seed), nil
+	case "road":
+		return genRoad(get("rows", 300), get("cols", 300), seed), nil
+	case "er":
+		return genER(get("n", 10000), get("m", 100000), seed), nil
+	case "ba":
+		return genBA(get("n", 10000), get("k", 5), seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want rmat|hyp|road|er|ba)", kind)
+	}
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures on the
+// virtual cluster (see internal/simnet for the performance model) and
+// prints them as markdown.
+//
+// Usage:
+//
+//	experiments -run all                 # everything (minutes)
+//	experiments -run tableI,tableII      # specific artifacts
+//	experiments -run fig2a -small        # quick run on 3 instances
+//
+// Artifacts: tableI tableII fig2a fig2b fig3a fig3b fig4a fig4b numa accuracy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated artifact list, or 'all'")
+		small = flag.Bool("small", false, "use the 3-instance small suite")
+		nodes = flag.Int("nodes", 16, "virtual node count for tableII")
+	)
+	flag.Parse()
+
+	insts := experiments.Suite()
+	if *small {
+		insts = experiments.SmallSuite()
+	}
+	want := map[string]bool{}
+	for _, a := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(a)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	type artifact struct {
+		name string
+		fn   func() error
+	}
+	artifacts := []artifact{
+		{"tableI", func() error { return experiments.TableI(os.Stdout, insts) }},
+		{"tableII", func() error { return experiments.TableII(os.Stdout, insts, *nodes) }},
+		{"fig2a", func() error { return experiments.Fig2a(os.Stdout, insts, experiments.NodeCounts) }},
+		{"fig2b", func() error { return experiments.Fig2b(os.Stdout, insts, experiments.NodeCounts) }},
+		{"fig3a", func() error { return experiments.Fig3a(os.Stdout, insts, experiments.NodeCounts) }},
+		{"fig3b", func() error { return experiments.Fig3b(os.Stdout, insts, experiments.NodeCounts) }},
+		{"fig4a", func() error { return experiments.Fig4(os.Stdout, "rmat", experiments.Fig4Scales, 16) }},
+		{"fig4b", func() error { return experiments.Fig4(os.Stdout, "hyperbolic", experiments.Fig4Scales, 16) }},
+		{"numa", func() error { return experiments.NUMA(os.Stdout, insts) }},
+		{"accuracy", func() error { return experiments.Accuracy(os.Stdout, insts, 40000) }},
+	}
+
+	ran := 0
+	for _, a := range artifacts {
+		if !sel(a.name) {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("\n<!-- %s -->\n", a.name)
+		if err := a.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n_(%s generated in %v)_\n", a.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing selected by -run=%s\n", *run)
+		os.Exit(1)
+	}
+}

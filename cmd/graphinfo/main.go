@@ -1,0 +1,81 @@
+// Command graphinfo prints Table-I-style statistics for a graph file or for
+// the built-in proxy suite: node/edge counts, degree statistics, connected
+// components and the exact diameter.
+//
+// Examples:
+//
+//	graphinfo -graph web.bcsr
+//	graphinfo -suite            # all ten Table-I proxies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/diameter"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (edge list or .bcsr)")
+		suite     = flag.Bool("suite", false, "describe the built-in Table-I proxy suite")
+		noDiam    = flag.Bool("no-diameter", false, "skip the (possibly slow) exact diameter")
+	)
+	flag.Parse()
+
+	switch {
+	case *suite:
+		if err := experiments.TableI(os.Stdout, experiments.Suite()); err != nil {
+			fmt.Fprintln(os.Stderr, "graphinfo:", err)
+			os.Exit(1)
+		}
+	case *graphPath != "":
+		g, err := graph.LoadFile(*graphPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphinfo:", err)
+			os.Exit(1)
+		}
+		describe(g, !*noDiam)
+	default:
+		fmt.Fprintln(os.Stderr, "graphinfo: need -graph FILE or -suite")
+		os.Exit(1)
+	}
+}
+
+func describe(g *graph.Graph, withDiameter bool) {
+	fmt.Printf("nodes: %d\nedges: %d\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("memory: %.1f MiB (CSR)\n", float64(g.MemoryFootprint())/(1<<20))
+
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.Degree(graph.Node(v))
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if g.NumNodes() > 0 {
+		fmt.Printf("degree: avg %.2f, max %d\n", float64(sumDeg)/float64(g.NumNodes()), maxDeg)
+	}
+
+	_, sizes := graph.ConnectedComponents(g)
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	fmt.Printf("components: %d (largest: %d nodes)\n", len(sizes), largest)
+
+	if withDiameter {
+		lcc, _ := graph.LargestComponent(g)
+		start := time.Now()
+		d := diameter.Exact(lcc)
+		fmt.Printf("diameter (largest component): %d (computed in %v)\n",
+			d, time.Since(start).Round(time.Millisecond))
+	}
+}

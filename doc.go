@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Scaling Betweenness
+// Approximation to Billions of Edges by MPI-based Adaptive Sampling"
+// (van der Grinten & Meyerhenke, IPDPS 2020).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); executables under cmd/; runnable examples under examples/.
+// The top-level bench_test.go regenerates every table and figure of the
+// paper's evaluation — see EXPERIMENTS.md for the recorded results.
+package repro

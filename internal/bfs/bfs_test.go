@@ -1,0 +1,375 @@
+package bfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// pathGraph returns the path 0-1-2-...-n-1.
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	return b.Build()
+}
+
+// refDistances is an independent O(V*E) reference BFS used to validate the
+// optimized kernels.
+func refDistances(g *graph.Graph, s graph.Node) []uint32 {
+	n := g.NumNodes()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[s] = 0
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < n; v++ {
+			if dist[v] == Unreached {
+				continue
+			}
+			for _, w := range g.Neighbors(graph.Node(v)) {
+				if dist[w] > dist[v]+1 {
+					dist[w] = dist[v] + 1
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(10)
+	b := New(g)
+	dist := b.Run(0)
+	for i := 0; i < 10; i++ {
+		if dist[i] != uint32(i) {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], i)
+		}
+	}
+	ecc, far := b.Eccentricity(0)
+	if ecc != 9 || far != 9 {
+		t.Fatalf("ecc = %d far = %d, want 9/9", ecc, far)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		r := rng.NewRand(seed)
+		edges := make([][2]graph.Node, 3*n)
+		for i := range edges {
+			edges[i] = [2]graph.Node{graph.Node(r.Intn(n)), graph.Node(r.Intn(n))}
+		}
+		g := graph.FromEdges(n, edges)
+		b := New(g)
+		s := graph.Node(r.Intn(n))
+		got := b.Run(s)
+		want := refDistances(g, s)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	dist := New(g).Run(0)
+	if dist[1] != 1 || dist[2] != Unreached || dist[3] != Unreached {
+		t.Fatalf("unexpected distances %v", dist)
+	}
+}
+
+// validatePath checks that internal is the internal vertex list of a genuine
+// shortest s-t path in g.
+func validatePath(t *testing.T, g *graph.Graph, s, tt graph.Node, internal []graph.Node) {
+	t.Helper()
+	full := append([]graph.Node{s}, internal...)
+	full = append(full, tt)
+	for i := 0; i+1 < len(full); i++ {
+		if !g.HasEdge(full[i], full[i+1]) {
+			t.Fatalf("path edge (%d,%d) missing; path %v", full[i], full[i+1], full)
+		}
+	}
+	seen := map[graph.Node]bool{}
+	for _, v := range full {
+		if seen[v] {
+			t.Fatalf("path revisits %d: %v", v, full)
+		}
+		seen[v] = true
+	}
+	want := refDistances(g, s)[tt]
+	if uint32(len(full)-1) != want {
+		t.Fatalf("path length %d, shortest distance %d; path %v", len(full)-1, want, full)
+	}
+}
+
+func TestSamplePathValidity(t *testing.T) {
+	r := rng.NewRand(1)
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + r.Intn(60)
+		edges := make([][2]graph.Node, 3*n)
+		for i := range edges {
+			edges[i] = [2]graph.Node{graph.Node(r.Intn(n)), graph.Node(r.Intn(n))}
+		}
+		g := graph.FromEdges(n, edges)
+		sp := NewSampler(g, rng.NewRand(uint64(trial)))
+		ref := refDistances(g, 0)
+		for i := 0; i < 30; i++ {
+			s := graph.Node(r.Intn(n))
+			tt := graph.Node(r.Intn(n))
+			if s == tt {
+				continue
+			}
+			internal, ok := sp.SamplePath(s, tt)
+			connected := refDistances(g, s)[tt] != Unreached
+			if ok != connected {
+				t.Fatalf("ok=%v but connected=%v for (%d,%d)", ok, connected, s, tt)
+			}
+			if ok {
+				validatePath(t, g, s, tt, internal)
+			}
+		}
+		_ = ref
+	}
+}
+
+func TestUnidirSamplePathValidity(t *testing.T) {
+	r := rng.NewRand(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + r.Intn(40)
+		edges := make([][2]graph.Node, 3*n)
+		for i := range edges {
+			edges[i] = [2]graph.Node{graph.Node(r.Intn(n)), graph.Node(r.Intn(n))}
+		}
+		g := graph.FromEdges(n, edges)
+		us := NewUnidirSampler(g, rng.NewRand(uint64(trial)))
+		for i := 0; i < 20; i++ {
+			s := graph.Node(r.Intn(n))
+			tt := graph.Node(r.Intn(n))
+			if s == tt {
+				continue
+			}
+			internal, ok := us.SamplePath(s, tt)
+			connected := refDistances(g, s)[tt] != Unreached
+			if ok != connected {
+				t.Fatalf("ok=%v connected=%v for (%d,%d)", ok, connected, s, tt)
+			}
+			if ok {
+				validatePath(t, g, s, tt, internal)
+			}
+		}
+	}
+}
+
+// sigmaRef computes shortest-path counts from s by level-synchronous DP.
+func sigmaRef(g *graph.Graph, s graph.Node) ([]uint32, []float64) {
+	dist := refDistances(g, s)
+	n := g.NumNodes()
+	sig := make([]float64, n)
+	sig[s] = 1
+	// Process vertices in distance order.
+	order := make([]graph.Node, 0, n)
+	for d := uint32(0); ; d++ {
+		found := false
+		for v := 0; v < n; v++ {
+			if dist[v] == d {
+				order = append(order, graph.Node(v))
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	for _, v := range order {
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == dist[v]+1 {
+				sig[w] += sig[v]
+			}
+		}
+	}
+	return dist, sig
+}
+
+// TestSamplerUniformity verifies that for a fixed pair (s,t), each vertex v
+// appears as an internal path vertex with probability
+// sigma_st(v)/sigma_st — the property the KADABRA estimator relies on.
+func TestSamplerUniformity(t *testing.T) {
+	samplers := map[string]func(g *graph.Graph, seed uint64) func(s, tt graph.Node) ([]graph.Node, bool){
+		"bidir": func(g *graph.Graph, seed uint64) func(s, tt graph.Node) ([]graph.Node, bool) {
+			sp := NewSampler(g, rng.NewRand(seed))
+			return sp.SamplePath
+		},
+		"unidir": func(g *graph.Graph, seed uint64) func(s, tt graph.Node) ([]graph.Node, bool) {
+			us := NewUnidirSampler(g, rng.NewRand(seed))
+			return us.SamplePath
+		},
+	}
+	r := rng.NewRand(3)
+	for name, mk := range samplers {
+		for trial := 0; trial < 5; trial++ {
+			n := 12 + r.Intn(10)
+			edges := make([][2]graph.Node, 3*n)
+			for i := range edges {
+				edges[i] = [2]graph.Node{graph.Node(r.Intn(n)), graph.Node(r.Intn(n))}
+			}
+			g := graph.FromEdges(n, edges)
+			s := graph.Node(r.Intn(n))
+			tt := graph.Node(r.Intn(n))
+			if s == tt {
+				continue
+			}
+			distS, sigS := sigmaRef(g, s)
+			distT, sigT := sigmaRef(g, tt)
+			if distS[tt] == Unreached {
+				continue
+			}
+			D := distS[tt]
+			total := sigS[tt]
+			sample := mk(g, uint64(trial)*7+11)
+			const iters = 4000
+			counts := make([]int, n)
+			for i := 0; i < iters; i++ {
+				internal, ok := sample(s, tt)
+				if !ok {
+					t.Fatalf("%s: connected pair reported disconnected", name)
+				}
+				for _, v := range internal {
+					counts[v]++
+				}
+			}
+			for v := 0; v < n; v++ {
+				var want float64
+				if graph.Node(v) != s && graph.Node(v) != tt &&
+					distS[v]+distT[v] == D {
+					want = sigS[v] * sigT[v] / total
+				}
+				got := float64(counts[v]) / iters
+				// Binomial stddev bound with 5-sigma slack.
+				slack := 5*math.Sqrt(want*(1-want)/iters) + 0.01
+				if math.Abs(got-want) > slack {
+					t.Fatalf("%s: vertex %d frequency %.4f, want %.4f (pair %d-%d)",
+						name, v, got, want, s, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplePairDistribution(t *testing.T) {
+	g := pathGraph(5)
+	sp := NewSampler(g, rng.NewRand(9))
+	counts := map[[2]graph.Node]int{}
+	const iters = 20000
+	for i := 0; i < iters; i++ {
+		s, tt := sp.SamplePair()
+		if s == tt {
+			t.Fatal("SamplePair returned s == t")
+		}
+		counts[[2]graph.Node{s, tt}]++
+	}
+	want := float64(iters) / 20 // 5*4 ordered pairs
+	for pair, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("pair %v count %d too far from %f", pair, c, want)
+		}
+	}
+}
+
+func TestSamplerAdjacentPair(t *testing.T) {
+	g := pathGraph(2)
+	sp := NewSampler(g, rng.NewRand(1))
+	internal, ok := sp.SamplePath(0, 1)
+	if !ok || len(internal) != 0 {
+		t.Fatalf("adjacent pair: ok=%v internal=%v", ok, internal)
+	}
+}
+
+func TestSamplerSameVertex(t *testing.T) {
+	g := pathGraph(3)
+	sp := NewSampler(g, rng.NewRand(1))
+	if _, ok := sp.SamplePath(1, 1); ok {
+		t.Fatal("s==t must not produce a path")
+	}
+}
+
+func TestSamplerDistance(t *testing.T) {
+	g := pathGraph(8)
+	sp := NewSampler(g, rng.NewRand(1))
+	if d := sp.Distance(0, 7); d != 7 {
+		t.Fatalf("Distance = %d, want 7", d)
+	}
+	if d := sp.Distance(3, 3); d != 0 {
+		t.Fatalf("Distance(v,v) = %d, want 0", d)
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if d := NewSampler(b.Build(), rng.NewRand(1)).Distance(0, 3); d != Unreached {
+		t.Fatalf("disconnected Distance = %d, want Unreached", d)
+	}
+}
+
+func TestSamplerStampReuseManyCalls(t *testing.T) {
+	// Many consecutive samples on one sampler must stay valid (stamp logic).
+	g := gen.RMAT(gen.Graph500(8, 8, 5))
+	g, _ = graph.LargestComponent(g)
+	sp := NewSampler(g, rng.NewRand(4))
+	for i := 0; i < 5000; i++ {
+		internal, ok := sp.Sample()
+		if ok && len(internal) > 0 {
+			// spot check first edge validity
+			if len(internal) >= 2 && !g.HasEdge(internal[0], internal[1]) {
+				t.Fatal("invalid consecutive internal vertices")
+			}
+		}
+	}
+}
+
+func BenchmarkBidirSampleRMAT(b *testing.B) {
+	g := gen.RMAT(gen.Graph500(14, 16, 1))
+	g, _ = graph.LargestComponent(g)
+	sp := NewSampler(g, rng.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Sample()
+	}
+}
+
+func BenchmarkUnidirSampleRMAT(b *testing.B) {
+	g := gen.RMAT(gen.Graph500(14, 16, 1))
+	g, _ = graph.LargestComponent(g)
+	us := NewUnidirSampler(g, rng.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		us.Sample()
+	}
+}
+
+func BenchmarkBidirSampleRoad(b *testing.B) {
+	g := gen.Road(gen.RoadParams{Rows: 300, Cols: 300, DeleteProb: 0.1, DiagonalProb: 0.05, Seed: 2})
+	g, _ = graph.LargestComponent(g)
+	sp := NewSampler(g, rng.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Sample()
+	}
+}

@@ -1,0 +1,251 @@
+package bfs
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// DirectedSampler draws uniform random shortest paths in a directed graph
+// with the same balanced bidirectional scheme as Sampler: the forward ball
+// grows from s along out-arcs, the backward ball from t along in-arcs
+// (which is why Digraph stores the transpose, as the paper's NetworKit
+// setup does, §IV-F). The correctness argument of Sampler.expand carries
+// over verbatim — directedness only changes which adjacency each side
+// scans.
+type DirectedSampler struct {
+	g   *graph.Digraph
+	rng *rng.Rand
+
+	stampS, stampT []uint32
+	distS, distT   []uint32
+	sigS, sigT     []float64
+	cur            uint32
+
+	frontS, frontT []graph.Node
+	nextF          []graph.Node
+	meet           []graph.Node
+	path           []graph.Node
+}
+
+// NewDirectedSampler creates a sampler over the digraph g.
+func NewDirectedSampler(g *graph.Digraph, r *rng.Rand) *DirectedSampler {
+	n := g.NumNodes()
+	return &DirectedSampler{
+		g:      g,
+		rng:    r,
+		stampS: make([]uint32, n),
+		stampT: make([]uint32, n),
+		distS:  make([]uint32, n),
+		distT:  make([]uint32, n),
+		sigS:   make([]float64, n),
+		sigT:   make([]float64, n),
+		frontS: make([]graph.Node, 0, 256),
+		frontT: make([]graph.Node, 0, 256),
+		nextF:  make([]graph.Node, 0, 256),
+		meet:   make([]graph.Node, 0, 64),
+		path:   make([]graph.Node, 0, 64),
+	}
+}
+
+// Sample draws a uniform pair (s, t) and a uniform shortest s->t path.
+func (sp *DirectedSampler) Sample() (internal []graph.Node, ok bool) {
+	n := sp.g.NumNodes()
+	s := graph.Node(sp.rng.Intn(n))
+	t := graph.Node(sp.rng.Intn(n - 1))
+	if t >= s {
+		t++
+	}
+	return sp.SamplePath(s, t)
+}
+
+// SamplePath draws a uniform random shortest directed s->t path; ok=false
+// if t is unreachable from s.
+func (sp *DirectedSampler) SamplePath(s, t graph.Node) (internal []graph.Node, ok bool) {
+	if s == t {
+		return nil, false
+	}
+	sp.cur++
+	if sp.cur == 0 {
+		for i := range sp.stampS {
+			sp.stampS[i] = 0
+			sp.stampT[i] = 0
+		}
+		sp.cur = 1
+	}
+	cur := sp.cur
+	sp.stampS[s], sp.distS[s], sp.sigS[s] = cur, 0, 1
+	sp.stampT[t], sp.distT[t], sp.sigT[t] = cur, 0, 1
+	sp.frontS = append(sp.frontS[:0], s)
+	sp.frontT = append(sp.frontT[:0], t)
+	if sp.g.OutDegree(s) == 0 || sp.g.InDegree(t) == 0 {
+		return nil, false
+	}
+
+	for {
+		expandS := sp.frontierCost(sp.frontS, true) <= sp.frontierCost(sp.frontT, false)
+		var done bool
+		if expandS {
+			done = sp.expand(true)
+		} else {
+			done = sp.expand(false)
+		}
+		if done {
+			break
+		}
+		if expandS && len(sp.frontS) == 0 {
+			return nil, false
+		}
+		if !expandS && len(sp.frontT) == 0 {
+			return nil, false
+		}
+	}
+
+	total := 0.0
+	for _, x := range sp.meet {
+		total += sp.sigS[x] * sp.sigT[x]
+	}
+	pick := sp.rng.Float64() * total
+	x := sp.meet[len(sp.meet)-1]
+	for _, cand := range sp.meet {
+		w := sp.sigS[cand] * sp.sigT[cand]
+		if pick < w {
+			x = cand
+			break
+		}
+		pick -= w
+	}
+
+	sp.path = sp.path[:0]
+	sp.walk(x, s, true)
+	for i, j := 0, len(sp.path)-1; i < j; i, j = i+1, j-1 {
+		sp.path[i], sp.path[j] = sp.path[j], sp.path[i]
+	}
+	if x != s && x != t {
+		sp.path = append(sp.path, x)
+	}
+	sp.walk(x, t, false)
+	return sp.path, true
+}
+
+func (sp *DirectedSampler) frontierCost(front []graph.Node, forward bool) uint64 {
+	var c uint64
+	for _, v := range front {
+		if forward {
+			c += uint64(sp.g.OutDegree(v))
+		} else {
+			c += uint64(sp.g.InDegree(v))
+		}
+	}
+	return c
+}
+
+func (sp *DirectedSampler) expand(sSide bool) bool {
+	var front *[]graph.Node
+	var stamp, otherStamp, dist, otherDist []uint32
+	var sig []float64
+	if sSide {
+		front = &sp.frontS
+		stamp, otherStamp = sp.stampS, sp.stampT
+		dist, otherDist = sp.distS, sp.distT
+		sig = sp.sigS
+	} else {
+		front = &sp.frontT
+		stamp, otherStamp = sp.stampT, sp.stampS
+		dist, otherDist = sp.distT, sp.distS
+		sig = sp.sigT
+	}
+	cur := sp.cur
+	next := sp.nextF[:0]
+	sp.meet = sp.meet[:0]
+	bestMeet := Unreached
+	for _, u := range *front {
+		du := dist[u]
+		su := sig[u]
+		var neigh []graph.Node
+		if sSide {
+			neigh = sp.g.Successors(u)
+		} else {
+			neigh = sp.g.Predecessors(u)
+		}
+		for _, w := range neigh {
+			if stamp[w] != cur {
+				stamp[w] = cur
+				dist[w] = du + 1
+				sig[w] = su
+				next = append(next, w)
+				if otherStamp[w] == cur {
+					d := du + 1 + otherDist[w]
+					if d < bestMeet {
+						bestMeet = d
+						sp.meet = sp.meet[:0]
+					}
+					if d == bestMeet {
+						sp.meet = append(sp.meet, w)
+					}
+				}
+			} else if dist[w] == du+1 {
+				sig[w] += su
+			}
+		}
+	}
+	sp.nextF = (*front)[:0]
+	*front = next
+	return len(sp.meet) > 0
+}
+
+// walk samples a predecessor chain from x toward the distance-0 endpoint of
+// one side. On the s side, predecessors of v are in-neighbours with
+// distS = distS(v)-1; on the t side they are out-neighbours with
+// distT = distT(v)-1 (the backward ball grew along in-arcs, so its
+// "predecessors" sit across out-arcs).
+func (sp *DirectedSampler) walk(x, target graph.Node, toS bool) {
+	var stamp, dist []uint32
+	var sig []float64
+	if toS {
+		stamp, dist, sig = sp.stampS, sp.distS, sp.sigS
+	} else {
+		stamp, dist, sig = sp.stampT, sp.distT, sp.sigT
+	}
+	cur := sp.cur
+	v := x
+	for dist[v] > 0 {
+		dv := dist[v]
+		var neigh []graph.Node
+		if toS {
+			neigh = sp.g.Predecessors(v)
+		} else {
+			neigh = sp.g.Successors(v)
+		}
+		pick := sp.rng.Float64() * sig[v]
+		var chosen graph.Node
+		found := false
+		for _, u := range neigh {
+			if stamp[u] == cur && dist[u] == dv-1 {
+				if pick < sig[u] {
+					chosen = u
+					found = true
+					break
+				}
+				pick -= sig[u]
+			}
+		}
+		if !found {
+			for _, u := range neigh {
+				if stamp[u] == cur && dist[u] == dv-1 {
+					chosen = u
+					found = true
+				}
+			}
+			if !found {
+				panic("bfs: corrupt sigma counts during directed path walk")
+			}
+		}
+		v = chosen
+		if dist[v] > 0 {
+			sp.path = append(sp.path, v)
+		}
+	}
+	if v != target {
+		panic("bfs: directed path walk did not reach endpoint")
+	}
+}

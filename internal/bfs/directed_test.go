@@ -1,0 +1,183 @@
+package bfs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// refDirDistances computes directed distances by repeated relaxation.
+func refDirDistances(g *graph.Digraph, s graph.Node) []uint32 {
+	n := g.NumNodes()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[s] = 0
+	queue := []graph.Node{s}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.Successors(v) {
+			if dist[w] == Unreached {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func randomDigraph(seed uint64, n, m int) *graph.Digraph {
+	r := rng.NewRand(seed)
+	arcs := make([][2]graph.Node, m)
+	for i := range arcs {
+		arcs[i] = [2]graph.Node{graph.Node(r.Intn(n)), graph.Node(r.Intn(n))}
+	}
+	return graph.FromArcs(n, arcs)
+}
+
+func validateDirPath(t *testing.T, g *graph.Digraph, s, tt graph.Node, internal []graph.Node) {
+	t.Helper()
+	full := append([]graph.Node{s}, internal...)
+	full = append(full, tt)
+	for i := 0; i+1 < len(full); i++ {
+		found := false
+		for _, w := range g.Successors(full[i]) {
+			if w == full[i+1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("arc (%d,%d) missing; path %v", full[i], full[i+1], full)
+		}
+	}
+	want := refDirDistances(g, s)[tt]
+	if uint32(len(full)-1) != want {
+		t.Fatalf("path length %d, shortest distance %d; path %v", len(full)-1, want, full)
+	}
+}
+
+func TestDirectedSamplePathValidity(t *testing.T) {
+	r := rng.NewRand(7)
+	for trial := 0; trial < 30; trial++ {
+		n := 15 + r.Intn(50)
+		g := randomDigraph(uint64(trial), n, 4*n)
+		sp := NewDirectedSampler(g, rng.NewRand(uint64(trial)+99))
+		for i := 0; i < 25; i++ {
+			s := graph.Node(r.Intn(n))
+			tt := graph.Node(r.Intn(n))
+			if s == tt {
+				continue
+			}
+			internal, ok := sp.SamplePath(s, tt)
+			reachable := refDirDistances(g, s)[tt] != Unreached
+			if ok != reachable {
+				t.Fatalf("ok=%v reachable=%v for (%d,%d)", ok, reachable, s, tt)
+			}
+			if ok {
+				validateDirPath(t, g, s, tt, internal)
+			}
+		}
+	}
+}
+
+func TestDirectedSamplerRespectsDirection(t *testing.T) {
+	// 0->1->2 with no back arcs: 2 cannot reach 0.
+	g := graph.FromArcs(3, [][2]graph.Node{{0, 1}, {1, 2}})
+	sp := NewDirectedSampler(g, rng.NewRand(1))
+	if internal, ok := sp.SamplePath(0, 2); !ok || len(internal) != 1 || internal[0] != 1 {
+		t.Fatalf("forward path wrong: %v ok=%v", internal, ok)
+	}
+	if _, ok := sp.SamplePath(2, 0); ok {
+		t.Fatal("found a path against arc direction")
+	}
+}
+
+// sigmaDirRef counts directed shortest paths from s.
+func sigmaDirRef(g *graph.Digraph, s graph.Node) ([]uint32, []float64) {
+	dist := refDirDistances(g, s)
+	n := g.NumNodes()
+	sig := make([]float64, n)
+	sig[s] = 1
+	order := make([]graph.Node, 0, n)
+	for d := uint32(0); ; d++ {
+		found := false
+		for v := 0; v < n; v++ {
+			if dist[v] == d {
+				order = append(order, graph.Node(v))
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	for _, v := range order {
+		for _, w := range g.Successors(v) {
+			if dist[w] == dist[v]+1 {
+				sig[w] += sig[v]
+			}
+		}
+	}
+	return dist, sig
+}
+
+func TestDirectedSamplerUniformity(t *testing.T) {
+	r := rng.NewRand(5)
+	for trial := 0; trial < 4; trial++ {
+		n := 12 + r.Intn(8)
+		g := randomDigraph(uint64(trial)+40, n, 4*n)
+		s := graph.Node(r.Intn(n))
+		tt := graph.Node(r.Intn(n))
+		if s == tt {
+			continue
+		}
+		distS, sigS := sigmaDirRef(g, s)
+		if distS[tt] == Unreached {
+			continue
+		}
+		// Backward sigma: paths from v to tt = forward sigma on transpose.
+		// Compute for every v by brute force: count shortest v->tt paths.
+		D := distS[tt]
+		total := sigS[tt]
+		sp := NewDirectedSampler(g, rng.NewRand(uint64(trial)*3+1))
+		const iters = 4000
+		counts := make([]int, n)
+		for i := 0; i < iters; i++ {
+			internal, ok := sp.SamplePath(s, tt)
+			if !ok {
+				t.Fatal("reachable pair reported unreachable")
+			}
+			for _, v := range internal {
+				counts[v]++
+			}
+		}
+		for v := 0; v < n; v++ {
+			var want float64
+			if graph.Node(v) != s && graph.Node(v) != tt {
+				distV, sigV := sigmaDirRef(g, graph.Node(v))
+				if distS[v] != Unreached && distV[tt] != Unreached &&
+					distS[v]+distV[tt] == D {
+					want = sigS[v] * sigV[tt] / total
+				}
+			}
+			got := float64(counts[v]) / iters
+			slack := 5*math.Sqrt(want*(1-want)/iters) + 0.01
+			if math.Abs(got-want) > slack {
+				t.Fatalf("vertex %d frequency %.4f, want %.4f (pair %d->%d)", v, got, want, s, tt)
+			}
+		}
+	}
+}
+
+func BenchmarkDirectedSample(b *testing.B) {
+	g := randomDigraph(1, 20000, 200000)
+	g, _ = graph.LargestSCC(g)
+	sp := NewDirectedSampler(g, rng.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Sample()
+	}
+}

@@ -1,0 +1,131 @@
+package bfs
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// UnidirSampler draws uniform random shortest paths using an ordinary
+// (unidirectional) BFS from s, stopped as soon as t's level is fully
+// settled. It exists as the ablation baseline for the paper's claim that
+// bidirectional BFS sampling is the key to KADABRA's per-sample speed
+// (§III-A, improvement (ii)); see BenchmarkAblationBiBFS.
+type UnidirSampler struct {
+	g   *graph.Graph
+	rng *rng.Rand
+
+	stamp []uint32
+	dist  []uint32
+	sig   []float64
+	cur   uint32
+
+	front, next []graph.Node
+	path        []graph.Node
+}
+
+// NewUnidirSampler creates a unidirectional sampler over g.
+func NewUnidirSampler(g *graph.Graph, r *rng.Rand) *UnidirSampler {
+	n := g.NumNodes()
+	return &UnidirSampler{
+		g:     g,
+		rng:   r,
+		stamp: make([]uint32, n),
+		dist:  make([]uint32, n),
+		sig:   make([]float64, n),
+		front: make([]graph.Node, 0, 256),
+		next:  make([]graph.Node, 0, 256),
+		path:  make([]graph.Node, 0, 64),
+	}
+}
+
+// Sample draws one sample with a uniform random pair; see Sampler.Sample for
+// the return convention.
+func (us *UnidirSampler) Sample() (internal []graph.Node, ok bool) {
+	n := us.g.NumNodes()
+	s := graph.Node(us.rng.Intn(n))
+	t := graph.Node(us.rng.Intn(n - 1))
+	if t >= s {
+		t++
+	}
+	return us.SamplePath(s, t)
+}
+
+// SamplePath draws a uniform random shortest s-t path via unidirectional
+// level-synchronous BFS with path counting.
+func (us *UnidirSampler) SamplePath(s, t graph.Node) (internal []graph.Node, ok bool) {
+	if s == t {
+		return nil, false
+	}
+	us.cur++
+	if us.cur == 0 {
+		for i := range us.stamp {
+			us.stamp[i] = 0
+		}
+		us.cur = 1
+	}
+	cur := us.cur
+	us.stamp[s], us.dist[s], us.sig[s] = cur, 0, 1
+	us.front = append(us.front[:0], s)
+	found := false
+	for len(us.front) > 0 && !found {
+		next := us.next[:0]
+		for _, u := range us.front {
+			du, su := us.dist[u], us.sig[u]
+			for _, w := range us.g.Neighbors(u) {
+				if us.stamp[w] != cur {
+					us.stamp[w] = cur
+					us.dist[w] = du + 1
+					us.sig[w] = su
+					next = append(next, w)
+					if w == t {
+						found = true
+					}
+				} else if us.dist[w] == du+1 {
+					us.sig[w] += su
+				}
+			}
+		}
+		us.next = us.front[:0]
+		us.front = next
+	}
+	if !found {
+		return nil, false
+	}
+	// Walk back from t to s choosing predecessors proportional to sigma.
+	us.path = us.path[:0]
+	v := t
+	for us.dist[v] > 0 {
+		dv := us.dist[v]
+		pick := us.rng.Float64() * us.sig[v]
+		var chosen graph.Node
+		okPred := false
+		for _, u := range us.g.Neighbors(v) {
+			if us.stamp[u] == cur && us.dist[u] == dv-1 {
+				if pick < us.sig[u] {
+					chosen, okPred = u, true
+					break
+				}
+				pick -= us.sig[u]
+			}
+		}
+		if !okPred {
+			for _, u := range us.g.Neighbors(v) {
+				if us.stamp[u] == cur && us.dist[u] == dv-1 {
+					chosen, okPred = u, true
+				}
+			}
+			if !okPred {
+				panic("bfs: corrupt sigma counts in unidirectional walk")
+			}
+		}
+		v = chosen
+		if us.dist[v] > 0 {
+			us.path = append(us.path, v)
+		}
+	}
+	// Reverse so the path reads s..t.
+	for i, j := 0, len(us.path)-1; i < j; i, j = i+1, j-1 {
+		us.path[i], us.path[j] = us.path[j], us.path[i]
+	}
+	return us.path, true
+}

@@ -1,0 +1,179 @@
+package bfs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func randomWeighted(seed uint64, n, m int, maxW uint32) *graph.WGraph {
+	r := rng.NewRand(seed)
+	edges := make([]graph.WeightedEdge, m)
+	for i := range edges {
+		edges[i] = graph.WeightedEdge{
+			U: graph.Node(r.Intn(n)),
+			V: graph.Node(r.Intn(n)),
+			W: uint32(r.Intn(int(maxW))) + 1,
+		}
+	}
+	g, err := graph.FromWeightedEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// refWeightedDistances is a Bellman-Ford reference.
+func refWeightedDistances(g *graph.WGraph, s graph.Node) []uint64 {
+	n := g.NumNodes()
+	const inf = math.MaxUint64 / 2
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[s] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			if dist[v] >= inf {
+				continue
+			}
+			adj, wts := g.Neighbors(graph.Node(v))
+			for i, u := range adj {
+				if nd := dist[v] + uint64(wts[i]); nd < dist[u] {
+					dist[u] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestWeightedDistanceMatchesBellmanFord(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		n := 20 + int(seed)
+		g := randomWeighted(seed, n, 4*n, 9)
+		ws := NewWeightedSampler(g, rng.NewRand(seed))
+		ref := refWeightedDistances(g, 0)
+		for v := 1; v < n; v++ {
+			got := ws.Distance(0, graph.Node(v))
+			want := ref[v]
+			if want >= math.MaxUint64/2 {
+				want = math.MaxUint64
+			}
+			if got != want {
+				t.Fatalf("seed %d: dist(0,%d) = %d, want %d", seed, v, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightedSamplePathValidity(t *testing.T) {
+	r := rng.NewRand(3)
+	for trial := 0; trial < 25; trial++ {
+		n := 15 + r.Intn(40)
+		g := randomWeighted(uint64(trial)+50, n, 4*n, 7)
+		ws := NewWeightedSampler(g, rng.NewRand(uint64(trial)))
+		ref := refWeightedDistances(g, 0)
+		_ = ref
+		for i := 0; i < 20; i++ {
+			s := graph.Node(r.Intn(n))
+			tt := graph.Node(r.Intn(n))
+			if s == tt {
+				continue
+			}
+			internal, ok := ws.SamplePath(s, tt)
+			refDist := refWeightedDistances(g, s)[tt]
+			if !ok {
+				if refDist < math.MaxUint64/2 {
+					t.Fatalf("connected pair (%d,%d) reported disconnected", s, tt)
+				}
+				continue
+			}
+			// Path must be a real path with total weight == shortest.
+			full := append([]graph.Node{s}, internal...)
+			full = append(full, tt)
+			var total uint64
+			for j := 0; j+1 < len(full); j++ {
+				adj, wts := g.Neighbors(full[j])
+				found := false
+				for k, u := range adj {
+					if u == full[j+1] {
+						total += uint64(wts[k])
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("path edge (%d,%d) missing", full[j], full[j+1])
+				}
+			}
+			if total != refDist {
+				t.Fatalf("path weight %d, shortest %d (pair %d-%d)", total, refDist, s, tt)
+			}
+		}
+	}
+}
+
+func TestWeightedSamplerUniformity(t *testing.T) {
+	// On a graph with two equal-weight parallel routes, both must be
+	// sampled ~50/50: s-a-t (1+1) and s-b-t (1+1).
+	edges := []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 3, W: 1}, // via a=1
+		{U: 0, V: 2, W: 1}, {U: 2, V: 3, W: 1}, // via b=2
+		{U: 0, V: 3, W: 5}, // direct but heavier: never sampled
+	}
+	g, err := graph.FromWeightedEdges(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWeightedSampler(g, rng.NewRand(1))
+	const iters = 6000
+	counts := map[graph.Node]int{}
+	for i := 0; i < iters; i++ {
+		internal, ok := ws.SamplePath(0, 3)
+		if !ok || len(internal) != 1 {
+			t.Fatalf("expected single internal vertex, got %v ok=%v", internal, ok)
+		}
+		counts[internal[0]]++
+	}
+	for _, v := range []graph.Node{1, 2} {
+		frac := float64(counts[v]) / iters
+		if math.Abs(frac-0.5) > 0.03 {
+			t.Fatalf("route via %d sampled %.3f, want ~0.5", v, frac)
+		}
+	}
+}
+
+func TestWeightedSamplerPrefersLightPath(t *testing.T) {
+	// A two-hop route with total weight 2 beats a one-hop edge of weight 3.
+	edges := []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 3},
+	}
+	g, err := graph.FromWeightedEdges(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWeightedSampler(g, rng.NewRand(2))
+	for i := 0; i < 50; i++ {
+		internal, ok := ws.SamplePath(0, 2)
+		if !ok || len(internal) != 1 || internal[0] != 1 {
+			t.Fatalf("expected route via 1, got %v", internal)
+		}
+	}
+}
+
+func BenchmarkWeightedSample(b *testing.B) {
+	g := randomWeighted(1, 20000, 120000, 100)
+	ws := NewWeightedSampler(g, rng.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Sample()
+	}
+}

@@ -1,0 +1,249 @@
+package brandes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// naive computes normalized betweenness by explicit enumeration: BFS per
+// source with path counting, then for every ordered pair (s,t) and vertex v,
+// add sigma_st(v)/sigma_st. O(V^2 * E) — only for tiny graphs.
+func naive(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	dist := make([][]int32, n)
+	sigma := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		d := make([]int32, n)
+		sg := make([]float64, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 1 // distance+1 to use 0 as unvisited; adjust below
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		sg[s] = 1
+		queue := []graph.Node{graph.Node(s)}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range g.Neighbors(v) {
+				if d[u] < 0 {
+					d[u] = d[v] + 1
+					queue = append(queue, u)
+				}
+				if d[u] == d[v]+1 {
+					sg[u] += sg[v]
+				}
+			}
+		}
+		dist[s] = d
+		sigma[s] = sg
+	}
+	scores := make([]float64, n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t || dist[s][t] < 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if v == s || v == t {
+					continue
+				}
+				if dist[s][v] >= 0 && dist[v] != nil &&
+					dist[s][v]+dist[v][t] == dist[s][t] && dist[v][t] >= 0 {
+					scores[v] += sigma[s][v] * sigma[v][t] / sigma[s][t]
+				}
+			}
+		}
+	}
+	if n >= 2 {
+		inv := 1 / (float64(n) * float64(n-1))
+		for i := range scores {
+			scores[i] *= inv
+		}
+	}
+	return scores
+}
+
+func randomGraph(seed uint64, n, m int) *graph.Graph {
+	r := rng.NewRand(seed)
+	edges := make([][2]graph.Node, m)
+	for i := range edges {
+		edges[i] = [2]graph.Node{graph.Node(r.Intn(n)), graph.Node(r.Intn(n))}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func almostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExactOnPath(t *testing.T) {
+	// Path 0-1-2-3-4: vertex 2 lies on (0,3),(0,4),(1,3),(1,4),(3,0)... For
+	// a path graph, b(v) for internal vertex i = 2*i*(n-1-i)/(n(n-1)).
+	n := 5
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	scores := Exact(b.Build())
+	for i := 0; i < n; i++ {
+		want := 2 * float64(i) * float64(n-1-i) / (float64(n) * float64(n-1))
+		if math.Abs(scores[i]-want) > 1e-12 {
+			t.Fatalf("path b(%d) = %v, want %v", i, scores[i], want)
+		}
+	}
+}
+
+func TestExactOnStar(t *testing.T) {
+	// Star with center 0 and k leaves: center lies on all k(k-1) ordered
+	// leaf pairs; b(0) = k(k-1)/(n(n-1)), leaves 0.
+	k := 7
+	n := k + 1
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.Node(i))
+	}
+	scores := Exact(b.Build())
+	want := float64(k*(k-1)) / (float64(n) * float64(n-1))
+	if math.Abs(scores[0]-want) > 1e-12 {
+		t.Fatalf("star center %v, want %v", scores[0], want)
+	}
+	for i := 1; i < n; i++ {
+		if scores[i] != 0 {
+			t.Fatalf("star leaf %d has nonzero betweenness %v", i, scores[i])
+		}
+	}
+}
+
+func TestExactOnClique(t *testing.T) {
+	n := 6
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+		}
+	}
+	scores := Exact(b.Build())
+	for i, s := range scores {
+		if s != 0 {
+			t.Fatalf("clique vertex %d has betweenness %v, want 0", i, s)
+		}
+	}
+}
+
+func TestExactMatchesNaive(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		m := int(mRaw % 60)
+		g := randomGraph(seed, n, m)
+		return almostEqual(Exact(g), naive(g), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesExact(t *testing.T) {
+	g := gen.RMAT(gen.Graph500(9, 8, 3))
+	g, _ = graph.LargestComponent(g)
+	seq := Exact(g)
+	for _, workers := range []int{2, 4, 8} {
+		par := Parallel(g, workers)
+		if !almostEqual(seq, par, 1e-9) {
+			t.Fatalf("parallel(%d) deviates from sequential", workers)
+		}
+	}
+}
+
+func TestParallelSingleWorkerAndTinyGraph(t *testing.T) {
+	g := randomGraph(1, 5, 10)
+	if !almostEqual(Parallel(g, 1), Exact(g), 1e-12) {
+		t.Fatal("workers=1 deviates")
+	}
+	if got := Parallel(graph.NewBuilder(1).Build(), 4); len(got) != 1 || got[0] != 0 {
+		t.Fatal("singleton graph mishandled")
+	}
+}
+
+func TestScoresSumInvariant(t *testing.T) {
+	// Sum of unnormalized BC over vertices equals sum over ordered pairs of
+	// (internal path vertices weighted) = sum over pairs (d(s,t)-1) when
+	// paths are unique; in general sum_v b(v) = E[path length - 1] over
+	// uniform pairs... We check the weaker invariant: normalized scores are
+	// in [0, 1] and finite.
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 3
+		g := randomGraph(seed, n, int(mRaw%120))
+		for _, s := range Exact(g) {
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.3, 0.9, 0.0}
+	top := TopK(scores, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopK returned %d items", len(top))
+	}
+	if top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopK order wrong: %v", top)
+	}
+	if got := TopK(scores, 100); len(got) != 5 {
+		t.Fatalf("TopK with k>n returned %d items", len(got))
+	}
+}
+
+func TestTopKLarge(t *testing.T) {
+	r := rng.NewRand(5)
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = r.Float64()
+	}
+	top := TopK(scores, 200) // exercises the heapsort path
+	for i := 1; i < len(top); i++ {
+		a, b := scores[top[i-1]], scores[top[i]]
+		if a < b {
+			t.Fatalf("TopK not descending at %d: %v < %v", i, a, b)
+		}
+	}
+}
+
+func BenchmarkExactRMAT11(b *testing.B) {
+	g := gen.RMAT(gen.Graph500(11, 8, 1))
+	g, _ = graph.LargestComponent(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(g)
+	}
+}
+
+func BenchmarkParallelRMAT11(b *testing.B) {
+	g := gen.RMAT(gen.Graph500(11, 8, 1))
+	g, _ = graph.LargestComponent(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parallel(g, 0)
+	}
+}

@@ -1,0 +1,132 @@
+package brandes
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ExactDirected computes normalized directed betweenness
+//
+//	b(x) = 1/(n(n-1)) * sum over ordered pairs s != t of sigma_st(x)/sigma_st
+//
+// where sigma counts shortest *directed* s->t paths. BFS expands along
+// out-arcs; the dependency accumulation walks the same DAG backwards.
+func ExactDirected(g *graph.Digraph) []float64 {
+	n := g.NumNodes()
+	scores := make([]float64, n)
+	w := newDirectedWorkspace(n)
+	for s := 0; s < n; s++ {
+		w.accumulate(g, graph.Node(s), scores)
+	}
+	normalize(scores, n)
+	return scores
+}
+
+// ParallelDirected is the source-parallel variant of ExactDirected.
+func ParallelDirected(g *graph.Digraph, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumNodes()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return ExactDirected(g)
+	}
+	var mu sync.Mutex
+	next := 0
+	cursor := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		v := next
+		next++
+		return v
+	}
+	partials := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			ws := newDirectedWorkspace(n)
+			scores := make([]float64, n)
+			for {
+				s := cursor()
+				if s >= n {
+					break
+				}
+				ws.accumulate(g, graph.Node(s), scores)
+			}
+			partials[idx] = scores
+		}(wk)
+	}
+	wg.Wait()
+	scores := make([]float64, n)
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for i, v := range p {
+			scores[i] += v
+		}
+	}
+	normalize(scores, n)
+	return scores
+}
+
+type directedWorkspace struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	order []graph.Node
+}
+
+func newDirectedWorkspace(n int) *directedWorkspace {
+	return &directedWorkspace{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		order: make([]graph.Node, 0, n),
+	}
+}
+
+func (w *directedWorkspace) accumulate(g *graph.Digraph, s graph.Node, scores []float64) {
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		w.dist[i] = -1
+		w.sigma[i] = 0
+		w.delta[i] = 0
+	}
+	w.order = w.order[:0]
+	w.dist[s] = 0
+	w.sigma[s] = 1
+	w.order = append(w.order, s)
+	for head := 0; head < len(w.order); head++ {
+		v := w.order[head]
+		dv := w.dist[v]
+		sv := w.sigma[v]
+		for _, u := range g.Successors(v) {
+			if w.dist[u] < 0 {
+				w.dist[u] = dv + 1
+				w.order = append(w.order, u)
+			}
+			if w.dist[u] == dv+1 {
+				w.sigma[u] += sv
+			}
+		}
+	}
+	for i := len(w.order) - 1; i > 0; i-- {
+		v := w.order[i]
+		coeff := (1 + w.delta[v]) / w.sigma[v]
+		dv := w.dist[v]
+		for _, u := range g.Predecessors(v) {
+			if w.dist[u] == dv-1 {
+				w.delta[u] += w.sigma[u] * coeff
+			}
+		}
+		scores[v] += w.delta[v]
+	}
+}

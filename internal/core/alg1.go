@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/kadabra"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+)
+
+// Algorithm1 is the pure-MPI parallelization of adaptive sampling from
+// paper Algorithm 1: every process runs a single sampling thread; sampling
+// overlaps the aggregation and the termination broadcast. It exists both as
+// the stepping stone the paper presents it as and as a baseline for the
+// epoch-based Algorithm2.
+//
+// All processes must call it collectively with the same configuration and
+// (structurally identical) graph. World rank 0 returns the result; other
+// ranks return Result{Res: nil}.
+func Algorithm1(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
+	if g.NumNodes() < 2 {
+		return nil, fmt.Errorf("core: need at least 2 vertices, got %d", g.NumNodes())
+	}
+	kcfg := cfg.Config
+	if kcfg.Eps == 0 {
+		kcfg.Eps = 0.01
+	}
+	if kcfg.Delta == 0 {
+		kcfg.Delta = 0.1
+	}
+	cfg.Config = kcfg
+	n := g.NumNodes()
+	root := 0
+
+	// Phase 1: diameter at rank 0, broadcast.
+	vd, diamTime, err := phase1(g, comm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	omega := kadabra.Omega(vd, kcfg.Eps, kcfg.Delta)
+
+	// Every process gets a deterministic, distinct sampler stream.
+	seed := rng.NewSplitMix64(kcfg.Seed + 0x9e37)
+	var r *rng.Rand
+	for i := 0; i <= comm.Rank(); i++ {
+		r = rng.NewRand(seed.Next())
+	}
+	sampler := bfs.NewSampler(g, r)
+
+	// Local state frame (S_loc in the pseudocode).
+	loc := make([]int64, n)
+	var locTau int64
+	takeSample := func() {
+		internal, ok := sampler.Sample()
+		locTau++
+		if ok {
+			for _, v := range internal {
+				loc[v]++
+			}
+		}
+	}
+
+	// Phase 2: calibration.
+	cal, calCounts, calTau, calTime, err := phase2(comm, cfg, n, omega,
+		func(perThread int) ([]int64, int64) {
+			for i := 0; i < perThread; i++ {
+				takeSample()
+			}
+			counts := make([]int64, n)
+			copy(counts, loc)
+			tau := locTau
+			for i := range loc {
+				loc[i] = 0
+			}
+			locTau = 0
+			return counts, tau
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregated state S lives at rank 0, seeded with calibration samples.
+	var S []int64
+	var STau int64
+	if comm.Rank() == root {
+		S = calCounts
+		STau = calTau
+	}
+
+	// Degenerate case: the calibration samples may already satisfy the
+	// stopping condition (tiny graphs, loose eps).
+	stopNow := false
+	if comm.Rank() == root {
+		stopNow = cal.HaveToStop(S, STau)
+	}
+	d, err := broadcastFlag(comm, root, stopNow, takeSample)
+	if err != nil {
+		return nil, err
+	}
+
+	samplingStart := time.Now()
+	n0 := kcfg.EpochLength(comm.Size())
+	var stats Stats
+	stats.CommVolumePerEpoch = commVolumePerEpoch(n, comm.Size())
+	snapshot := make([]int64, n)
+	var wire []byte
+	var checkTime time.Duration
+
+	for !d {
+		// for n0 times do: S_loc += sample  (Alg. 1 line 5)
+		for i := 0; i < n0; i++ {
+			takeSample()
+		}
+		// Snapshot before the reduction so overlapped sampling does not
+		// mutate the communication buffer (Alg. 1 lines 7-8).
+		copy(snapshot, loc)
+		snapTau := locTau
+		for i := range loc {
+			loc[i] = 0
+		}
+		locTau = 0
+		wire = encodeFrame(wire, snapTau, snapshot)
+
+		reduced, bw, rt, err := aggregate(comm, cfg.Strategy, wire, takeSample)
+		if err != nil {
+			return nil, err
+		}
+		stats.BarrierWait += bw
+		stats.ReduceTime += rt
+		stats.Epochs++
+
+		stop := false
+		if comm.Rank() == root {
+			// S += S'; d = CheckForStop(S)  (Alg. 1 lines 13-14)
+			tau := decodeFrame(reduced, snapshot)
+			STau += tau
+			for i, v := range snapshot {
+				S[i] += v
+			}
+			cs := time.Now()
+			stop = cal.HaveToStop(S, STau)
+			checkTime += time.Since(cs)
+		}
+		d, err = broadcastFlag(comm, root, stop, takeSample)
+		if err != nil {
+			return nil, err
+		}
+	}
+	samplingTime := time.Since(samplingStart)
+	stats.CheckTime = checkTime
+
+	res := &Result{Stats: stats}
+	if comm.Rank() == root {
+		stats.Samples = STau
+		res.Stats.Samples = STau
+		res.Res = finalize(n, S, STau, omega, vd, stats.Epochs, kadabra.Timings{
+			Diameter:    diamTime,
+			Calibration: calTime,
+			Sampling:    samplingTime,
+			Barrier:     stats.BarrierWait,
+			Reduce:      stats.ReduceTime,
+			Check:       checkTime,
+		})
+	}
+	return res, nil
+}

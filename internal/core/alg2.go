@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/epoch"
+	"repro/internal/graph"
+	"repro/internal/kadabra"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+)
+
+// Algorithm2 is the epoch-based MPI parallelization of paper Algorithm 2:
+// inside each process, T sampling threads are aggregated wait-free by the
+// epoch framework; across processes, the per-epoch snapshots are aggregated
+// with MPI collectives, with sampling overlapping every wait. With
+// cfg.RanksPerNode > 1 the aggregation is hierarchical (§IV-E): frames are
+// first reduced over the node-local communicator, then the node leaders
+// reduce over the global communicator; this mirrors the paper's
+// one-process-per-NUMA-socket deployment.
+//
+// All processes call it collectively; world rank 0 returns the result.
+func Algorithm2(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
+	if g.NumNodes() < 2 {
+		return nil, fmt.Errorf("core: need at least 2 vertices, got %d", g.NumNodes())
+	}
+	kcfg := cfg.Config
+	if kcfg.Eps == 0 {
+		kcfg.Eps = 0.01
+	}
+	if kcfg.Delta == 0 {
+		kcfg.Delta = 0.1
+	}
+	cfg.Config = kcfg
+	n := g.NumNodes()
+	T := cfg.threads()
+	root := 0
+
+	// Phase 1: diameter at rank 0, broadcast.
+	vd, diamTime, err := phase1(g, comm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	omega := kadabra.Omega(vd, kcfg.Eps, kcfg.Delta)
+
+	// Deterministic, globally distinct sampler streams: stream index is
+	// worldRank*T + t.
+	sm := rng.NewSplitMix64(kcfg.Seed)
+	for i := 0; i < comm.Rank()*T; i++ {
+		sm.Next()
+	}
+	samplers := make([]*bfs.Sampler, T)
+	for t := range samplers {
+		samplers[t] = bfs.NewSampler(g, rng.NewRand(sm.Next()))
+	}
+
+	// Phase 2: calibration — all T threads of all processes sample a fixed
+	// share in parallel, then one blocking reduction (§IV-F: "Parallelizing
+	// the computation of the initial fixed number of samples is
+	// straightforward").
+	cal, calCounts, calTau, calTime, err := phase2(comm, cfg, n, omega,
+		func(perThread int) ([]int64, int64) {
+			counts := make([]int64, n)
+			var tau int64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for t := 0; t < T; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					local := make([]int64, n)
+					var ltau int64
+					for i := 0; i < perThread; i++ {
+						internal, ok := samplers[t].Sample()
+						ltau++
+						if ok {
+							for _, v := range internal {
+								local[v]++
+							}
+						}
+					}
+					mu.Lock()
+					tau += ltau
+					for i, v := range local {
+						counts[i] += v
+					}
+					mu.Unlock()
+				}(t)
+			}
+			wg.Wait()
+			return counts, tau
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Hierarchical communicators (§IV-E).
+	var local, global *mpi.Comm
+	hierarchical := cfg.RanksPerNode > 1 && comm.Size() > 1
+	if hierarchical {
+		node := comm.Rank() / cfg.RanksPerNode
+		local, err = comm.Split(node, comm.Rank())
+		if err != nil {
+			return nil, fmt.Errorf("core: local split: %w", err)
+		}
+		leaderColor := -1
+		if local.Rank() == 0 {
+			leaderColor = 0
+		}
+		global, err = comm.Split(leaderColor, comm.Rank())
+		if err != nil {
+			return nil, fmt.Errorf("core: global split: %w", err)
+		}
+	} else {
+		global = comm
+	}
+
+	// Aggregated state S at world rank 0, seeded with calibration samples.
+	var S []int64
+	var STau int64
+	if comm.Rank() == root {
+		S = calCounts
+		STau = calTau
+	}
+
+	// Epoch framework and sampling threads.
+	fw := epoch.New(T, n)
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for t := 1; t < T; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sf := fw.Frame(t)
+			for !done.Load() {
+				internal, ok := samplers[t].Sample()
+				sf.Tau++
+				if ok {
+					for _, v := range internal {
+						sf.C[v]++
+					}
+				}
+				if fw.CheckTransition(t) {
+					sf = fw.Frame(t)
+				}
+			}
+			for fw.CheckTransition(t) {
+			}
+		}(t)
+	}
+
+	// sample0 takes one sample in thread 0's *current* frame; during a
+	// transition or a communication wait the current frame is already the
+	// next epoch's, matching Alg. 2 lines 15/21/27.
+	sample0 := func() {
+		sf := fw.Frame(0)
+		internal, ok := samplers[0].Sample()
+		sf.Tau++
+		if ok {
+			for _, v := range internal {
+				sf.C[v]++
+			}
+		}
+	}
+
+	finish := func(stats Stats, samplingTime time.Duration, checkTime time.Duration) *Result {
+		done.Store(true)
+		wg.Wait()
+		res := &Result{Stats: stats}
+		if comm.Rank() == root {
+			res.Stats.Samples = STau
+			res.Res = finalize(n, S, STau, omega, vd, stats.Epochs, kadabra.Timings{
+				Diameter:    diamTime,
+				Calibration: calTime,
+				Sampling:    samplingTime,
+				Transition:  stats.TransitionWait,
+				Barrier:     stats.BarrierWait,
+				Reduce:      stats.ReduceTime,
+				Check:       checkTime,
+			})
+		}
+		return res
+	}
+
+	var stats Stats
+	stats.CommVolumePerEpoch = commVolumePerEpoch(n, comm.Size())
+
+	// Degenerate case: calibration alone may satisfy the stopping condition.
+	stopNow := false
+	if comm.Rank() == root {
+		stopNow = cal.HaveToStop(S, STau)
+	}
+	d, err := broadcastFlag(comm, root, stopNow, sample0)
+	if err != nil {
+		done.Store(true)
+		wg.Wait()
+		return nil, err
+	}
+	if d {
+		return finish(stats, 0, 0), nil
+	}
+
+	samplingStart := time.Now()
+	n0 := kcfg.EpochLength(comm.Size() * T)
+	eLoc := epoch.NewStateFrame(n)
+	var wire []byte
+	var checkTime time.Duration
+	var e uint64
+
+	for {
+		// Sample n0 times into the epoch-e frame (Alg. 2 lines 12-13).
+		for i := 0; i < n0; i++ {
+			sample0()
+		}
+		// Force the transition; keep sampling (into the epoch-e+1 frame)
+		// until every thread has moved (lines 14-15).
+		ts := time.Now()
+		fw.ForceTransition()
+		for !fw.TransitionDone(e + 1) {
+			sample0()
+		}
+		stats.TransitionWait += time.Since(ts)
+
+		// Aggregate this process's epoch-e frames (lines 16-18).
+		eLoc.Reset()
+		fw.AggregateEpoch(e, eLoc)
+		wire = encodeFrame(wire, eLoc.Tau, eLoc.C)
+
+		// Inter-process aggregation (lines 19-21), hierarchical per §IV-E:
+		// node-local blocking reduce (the shared-memory analogue), then the
+		// strategy-selected global aggregation among node leaders.
+		var reduced []byte
+		payload := wire
+		if hierarchical {
+			lres, lerr := local.Reduce(0, payload, mpi.SumInt64)
+			if lerr != nil {
+				done.Store(true)
+				wg.Wait()
+				return nil, fmt.Errorf("core: local reduce: %w", lerr)
+			}
+			payload = lres
+		}
+		if !hierarchical || local.Rank() == 0 {
+			var bw, rt time.Duration
+			reduced, bw, rt, err = aggregate(global, cfg.Strategy, payload, sample0)
+			if err != nil {
+				done.Store(true)
+				wg.Wait()
+				return nil, err
+			}
+			stats.BarrierWait += bw
+			stats.ReduceTime += rt
+		}
+		stats.Epochs++
+
+		// Fold into S and check the stopping condition at rank 0 only
+		// (lines 22-24).
+		stop := false
+		if comm.Rank() == root {
+			tau := decodeFrame(reduced, eLoc.C)
+			STau += tau
+			for i, v := range eLoc.C {
+				S[i] += v
+			}
+			cs := time.Now()
+			stop = cal.HaveToStop(S, STau)
+			checkTime += time.Since(cs)
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(stats.Epochs, STau)
+			}
+		}
+
+		// Broadcast the termination flag with overlap (lines 25-27).
+		d, err = broadcastFlag(comm, root, stop, sample0)
+		if err != nil {
+			done.Store(true)
+			wg.Wait()
+			return nil, err
+		}
+		e++
+		if d {
+			stats.CheckTime = checkTime
+			return finish(stats, time.Since(samplingStart), checkTime), nil
+		}
+	}
+}

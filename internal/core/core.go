@@ -1,0 +1,281 @@
+// Package core implements the paper's primary contribution: MPI-based
+// parallelizations of the KADABRA adaptive-sampling algorithm for
+// betweenness approximation.
+//
+//   - Algorithm1 is the pure-MPI parallelization of paper Algorithm 1: one
+//     sampling thread per process, sampling overlapped with a non-blocking
+//     reduction of state-frame snapshots and a non-blocking broadcast of
+//     the termination flag.
+//   - Algorithm2 is the epoch-based MPI parallelization of paper Algorithm
+//     2 (§IV-C): T sampling threads per process aggregated wait-free with
+//     the epoch framework, combined with MPI aggregation across processes,
+//     optionally hierarchical (node-local aggregation before the global
+//     reduction, §IV-E).
+//
+// Every process must hold the full graph (the paper's standing assumption,
+// §I-A: samples are taken locally without communication). The communicator
+// may come from the in-process world (mpi.RunLocal — the analogue of
+// several MPI ranks on one machine) or from TCP (mpi.ConnectTCP — genuinely
+// distributed).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/diameter"
+	"repro/internal/graph"
+	"repro/internal/kadabra"
+	"repro/internal/mpi"
+)
+
+// AggStrategy selects how state frames are aggregated across processes
+// each epoch (paper §IV-F compares these).
+type AggStrategy int
+
+const (
+	// AggIBarrierReduce is the paper's preferred strategy: a non-blocking
+	// barrier overlapped with sampling, followed by a blocking reduction
+	// ("we first perform a non-blocking barrier followed by a blocking
+	// MPI_Reduce. This strategy resulted in a considerable speedup", §IV-F).
+	AggIBarrierReduce AggStrategy = iota
+	// AggIReduce uses the non-blocking reduction directly (paper Alg. 1/2
+	// as written; slower with common MPI implementations, §IV-F).
+	AggIReduce
+	// AggBlocking performs a fully blocking reduction with no overlap (the
+	// strategy the paper found "again detrimental to performance").
+	AggBlocking
+)
+
+func (s AggStrategy) String() string {
+	switch s {
+	case AggIBarrierReduce:
+		return "ibarrier+reduce"
+	case AggIReduce:
+		return "ireduce"
+	case AggBlocking:
+		return "blocking"
+	default:
+		return fmt.Sprintf("AggStrategy(%d)", int(s))
+	}
+}
+
+// Config extends the KADABRA parameters with distribution controls.
+type Config struct {
+	kadabra.Config
+	// Threads is the number of sampling threads per process (T); <=0 means 1.
+	Threads int
+	// Strategy selects the inter-process aggregation (default
+	// AggIBarrierReduce, the paper's choice).
+	Strategy AggStrategy
+	// RanksPerNode, when > 1, enables the hierarchical aggregation of
+	// §IV-E: consecutive groups of this many ranks form a "compute node"
+	// (in the paper, one rank per NUMA socket, two per node); frames are
+	// reduced node-locally before the leaders run the global reduction.
+	RanksPerNode int
+	// OnEpoch, when non-nil, is invoked at world rank 0 after every epoch's
+	// aggregation with the epoch index and the consistent global state
+	// (tau, number of epochs so far). It runs on the coordinator thread
+	// between the stopping check and the termination broadcast, so it must
+	// be cheap; it is intended for progress reporting and convergence
+	// tracing.
+	OnEpoch func(epoch int, tau int64)
+}
+
+func (c Config) threads() int {
+	if c.Threads <= 0 {
+		return 1
+	}
+	return c.Threads
+}
+
+// Stats captures the per-run counters behind the paper's Table II.
+type Stats struct {
+	// Epochs is the number of completed epochs (Table II "Ep.").
+	Epochs int
+	// Samples is tau in the final consistent state (Table II "Samples").
+	Samples int64
+	// BarrierWait is the time rank 0's coordinator spent polling the
+	// non-blocking barrier (Table II "B") — overlapped with sampling.
+	BarrierWait time.Duration
+	// ReduceTime is the non-overlapped blocking-aggregation time.
+	ReduceTime time.Duration
+	// CommVolumePerEpoch is the aggregation traffic of one epoch in bytes
+	// across all links (Table II "Com."): the reduction moves one
+	// (|V|+1)-int64 frame over each of the P-1 tree edges, plus the
+	// termination broadcast flags.
+	CommVolumePerEpoch int64
+	// CheckTime is the stopping-condition evaluation time at rank 0.
+	CheckTime time.Duration
+	// TransitionWait is the time spent waiting for epoch transitions
+	// (Algorithm 2 only; overlapped with sampling).
+	TransitionWait time.Duration
+}
+
+// Result bundles the kadabra result with distribution statistics. Only
+// world rank 0 receives Res.Betweenness; other ranks get Res == nil.
+type Result struct {
+	Res   *kadabra.Result
+	Stats Stats
+}
+
+// frameBytes returns the wire size of one state frame for an n-vertex graph.
+func frameBytes(n int) int64 { return int64(n+1) * 8 }
+
+func commVolumePerEpoch(n, procs int) int64 {
+	if procs <= 1 {
+		return 0
+	}
+	return int64(procs-1)*frameBytes(n) + int64(procs-1)
+}
+
+// phase1 computes the vertex diameter at world rank 0 (the paper uses a
+// sequential diameter algorithm whose cost appears in Fig. 2b) and
+// broadcasts it to all ranks, which need it for the calibration sample
+// budget.
+func phase1(g *graph.Graph, comm *mpi.Comm, cfg Config) (vd int, elapsed time.Duration, err error) {
+	var payload []byte
+	if comm.Rank() == 0 {
+		start := time.Now()
+		switch {
+		case cfg.VertexDiameter > 0:
+			vd = cfg.VertexDiameter
+		case cfg.DiameterBFSCap > 0:
+			d, _ := diameter.IFUB(g, cfg.DiameterBFSCap)
+			vd = int(d) + 1
+		default:
+			vd = diameter.VertexDiameter(g)
+		}
+		elapsed = time.Since(start)
+		payload = mpi.EncodeInt64s(nil, []int64{int64(vd)})
+	}
+	out, err := comm.Bcast(0, payload)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: diameter broadcast: %w", err)
+	}
+	dec := make([]int64, 1)
+	mpi.DecodeInt64s(dec, out)
+	return int(dec[0]), elapsed, nil
+}
+
+// encodeFrame serializes (tau, counts) into buf (resized as needed).
+func encodeFrame(buf []byte, tau int64, counts []int64) []byte {
+	buf = buf[:0]
+	buf = mpi.EncodeInt64s(buf, []int64{tau})
+	return mpi.EncodeInt64s(buf, counts)
+}
+
+// decodeFrame deserializes a frame produced by encodeFrame.
+func decodeFrame(buf []byte, counts []int64) (tau int64) {
+	head := make([]int64, 1)
+	mpi.DecodeInt64s(head, buf[:8])
+	mpi.DecodeInt64s(counts, buf[8:])
+	return head[0]
+}
+
+// phase2 runs the calibration: every thread of every process takes an equal
+// share of tau0 = omega/StartFactor samples ("pleasingly parallel", §V-B),
+// a blocking reduction lands the counts at world rank 0, and rank 0 derives
+// the per-vertex failure budgets. Non-root ranks return cal == nil.
+//
+// sample(threadIdx, record) must take one sample with the given thread's
+// sampler and invoke record(internalVertices).
+func phase2(comm *mpi.Comm, cfg Config, n int, omega float64,
+	sampleBatch func(perThread int) (counts []int64, tau int64),
+) (cal *kadabra.Calibration, calCounts []int64, calTau int64, elapsed time.Duration, err error) {
+	start := time.Now()
+	kcfg := cfg.Config
+	if kcfg.StartFactor == 0 {
+		kcfg.StartFactor = 100
+	}
+	tau0 := int64(omega)/int64(kcfg.StartFactor) + 1
+	totalWorkers := comm.Size() * cfg.threads()
+	perThread := int(tau0)/totalWorkers + 1
+
+	counts, tau := sampleBatch(perThread)
+	buf := encodeFrame(nil, tau, counts)
+	res, err := comm.Reduce(0, buf, mpi.SumInt64)
+	if err != nil {
+		return nil, nil, 0, 0, fmt.Errorf("core: calibration reduce: %w", err)
+	}
+	if comm.Rank() == 0 {
+		calCounts = make([]int64, n)
+		calTau = decodeFrame(res, calCounts)
+		cal = kadabra.Calibrate(calCounts, calTau, omega, kcfg.Eps, kcfg.Delta)
+	}
+	return cal, calCounts, calTau, time.Since(start), nil
+}
+
+// aggregate performs one epoch's inter-process aggregation of the local
+// frame (already node-locally merged by the caller when hierarchy is on),
+// following the configured strategy, while overlap() is invoked repeatedly
+// during non-blocking waits. It returns the reduced frame at rank 0 (nil
+// elsewhere) plus the time spent in the barrier poll and in the blocking
+// reduction.
+func aggregate(comm *mpi.Comm, strategy AggStrategy, buf []byte, overlap func()) (
+	reduced []byte, barrierWait, reduceTime time.Duration, err error,
+) {
+	switch strategy {
+	case AggIReduce:
+		req := comm.IReduce(0, buf, mpi.SumInt64)
+		bs := time.Now()
+		for !req.Test() {
+			overlap()
+		}
+		barrierWait = time.Since(bs)
+		reduced, err = req.Wait()
+		return reduced, barrierWait, 0, err
+	case AggBlocking:
+		rs := time.Now()
+		reduced, err = comm.Reduce(0, buf, mpi.SumInt64)
+		return reduced, 0, time.Since(rs), err
+	default: // AggIBarrierReduce
+		req := comm.IBarrier()
+		bs := time.Now()
+		for !req.Test() {
+			overlap()
+		}
+		barrierWait = time.Since(bs)
+		if _, err = req.Wait(); err != nil {
+			return nil, barrierWait, 0, err
+		}
+		rs := time.Now()
+		reduced, err = comm.Reduce(0, buf, mpi.SumInt64)
+		return reduced, barrierWait, time.Since(rs), err
+	}
+}
+
+// broadcastFlag distributes the termination flag with a non-blocking
+// broadcast, overlapping with overlap() (paper Alg. 1 line 16).
+func broadcastFlag(comm *mpi.Comm, root int, flag bool, overlap func()) (bool, error) {
+	var req *mpi.Request
+	if comm.Rank() == root {
+		req = comm.IBcast(root, mpi.EncodeBool(flag))
+	} else {
+		req = comm.IBcast(root, nil)
+	}
+	for !req.Test() {
+		overlap()
+	}
+	data, err := req.Wait()
+	if err != nil {
+		return false, err
+	}
+	return mpi.DecodeBool(data), nil
+}
+
+// finalize converts the aggregated state at rank 0 into a kadabra.Result.
+func finalize(n int, counts []int64, tau int64, omega float64, vd int, epochs int, t kadabra.Timings) *kadabra.Result {
+	bt := make([]float64, n)
+	for v, c := range counts {
+		bt[v] = float64(c) / float64(tau)
+	}
+	return &kadabra.Result{
+		Betweenness:    bt,
+		Tau:            tau,
+		Omega:          omega,
+		VertexDiameter: vd,
+		Epochs:         epochs,
+		Timings:        t,
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+// Variant selects which distributed algorithm a driver runs.
+type Variant int
+
+const (
+	// VariantEpoch is Algorithm 2, the paper's contribution (default).
+	VariantEpoch Variant = iota
+	// VariantPureMPI is Algorithm 1.
+	VariantPureMPI
+)
+
+// RunLocal executes the selected algorithm over an in-process world of
+// procs ranks (each a goroutine group sharing the graph — the analogue of
+// MPI ranks on one machine, where the graph data structure is shared) and
+// returns world rank 0's result.
+func RunLocal(g *graph.Graph, procs int, cfg Config, variant Variant) (*Result, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("core: need at least 1 process, got %d", procs)
+	}
+	var mu sync.Mutex
+	var rootRes *Result
+	err := mpi.RunLocal(procs, func(c *mpi.Comm) error {
+		var res *Result
+		var err error
+		switch variant {
+		case VariantPureMPI:
+			res, err = Algorithm1(g, c, cfg)
+		default:
+			res, err = Algorithm2(g, c, cfg)
+		}
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			rootRes = res
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rootRes, nil
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// freeAddrs reserves n loopback addresses for TCP-world tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+func connectTCPForTest(rank int, addrs []string) (*mpi.Comm, io.Closer, error) {
+	return mpi.ConnectTCP(rank, addrs, 10*time.Second)
+}

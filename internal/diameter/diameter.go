@@ -1,0 +1,161 @@
+// Package diameter computes graph diameters for unweighted undirected
+// graphs. KADABRA's phase 1 (paper §III-A) needs an upper bound on the
+// vertex diameter (the number of vertices on a longest shortest path,
+// diameter+1 on connected unweighted graphs) to compute the maximal sample
+// count omega.
+//
+// Like the paper (which uses the BFS-based method of Borassi et al. [6]), we
+// rely on BFS pruning techniques rather than all-pairs computation:
+//
+//   - DoubleSweep gives a fast lower bound (and a decent starting point);
+//   - IFUB (iterative Fringe Upper Bound, Crescenzi et al.) computes the
+//     exact diameter, usually after only a handful of BFS sweeps on
+//     real-world graphs;
+//   - TwoApprox is a single-BFS factor-2 upper bound for callers that want
+//     O(|E|) worst-case behaviour on enormous inputs.
+//
+// All functions treat a disconnected graph as the maximum over reachable
+// pairs from the chosen roots; callers are expected to pass the largest
+// connected component (as the paper does, §V-A).
+package diameter
+
+import (
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// DoubleSweep returns a lower bound on the diameter: BFS from start to the
+// farthest vertex u, then BFS from u; the second eccentricity is the bound.
+// On trees it is exact; on real-world graphs it is usually exact or within
+// one or two of the true value.
+func DoubleSweep(g *graph.Graph, start graph.Node) uint32 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	b := bfs.New(g)
+	_, u := b.Eccentricity(start)
+	ecc, _ := b.Eccentricity(u)
+	return ecc
+}
+
+// TwoApprox returns an upper bound of at most twice the true diameter using
+// a single BFS from a maximum-degree vertex: diam <= 2*ecc(v) for any v.
+func TwoApprox(g *graph.Graph) uint32 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	b := bfs.New(g)
+	ecc, _ := b.Eccentricity(g.MaxDegreeNode())
+	return 2 * ecc
+}
+
+// IFUB computes the exact diameter of the connected graph g using the
+// iterative fringe upper bound method. maxBFS caps the number of BFS sweeps
+// (0 means unlimited); if the cap is hit, the current (still valid) upper
+// bound is returned together with exact=false.
+//
+// The method roots a BFS at a high-eccentricity-ish vertex r (we use the
+// midpoint of a double sweep, the standard choice), then processes fringe
+// vertices level by level from the deepest level i downwards. The invariant
+// is: any vertex at level <= i has eccentricity <= 2i, so once the best
+// eccentricity found (lower bound) reaches 2i, it equals the diameter.
+func IFUB(g *graph.Graph, maxBFS int) (diam uint32, exact bool) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, true
+	}
+	b := bfs.New(g)
+
+	// Choose the root: midpoint of the double-sweep path.
+	_, u := b.Eccentricity(g.MaxDegreeNode())
+	distU := b.Run(u)
+	// farthest from u:
+	var v graph.Node
+	var best uint32
+	for i := 0; i < n; i++ {
+		if distU[i] != bfs.Unreached && distU[i] >= best {
+			best, v = distU[i], graph.Node(i)
+		}
+	}
+	lb := best // double-sweep lower bound
+	// Walk back from v toward u picking a midpoint vertex.
+	mid := midpoint(g, b, u, v)
+
+	distMid := b.Run(mid)
+	// Bucket vertices by level.
+	var maxLevel uint32
+	for i := 0; i < n; i++ {
+		if distMid[i] != bfs.Unreached && distMid[i] > maxLevel {
+			maxLevel = distMid[i]
+		}
+	}
+	levels := make([][]graph.Node, maxLevel+1)
+	for i := 0; i < n; i++ {
+		if d := distMid[i]; d != bfs.Unreached {
+			levels[d] = append(levels[d], graph.Node(i))
+		}
+	}
+
+	sweeps := 0
+	for i := int(maxLevel); i > 0; i-- {
+		if lb >= uint32(2*i) {
+			return lb, true
+		}
+		for _, w := range levels[i] {
+			if maxBFS > 0 && sweeps >= maxBFS {
+				// Upper bound still valid: eccentricities of unprocessed
+				// vertices are at most 2i.
+				ub := uint32(2 * i)
+				if lb > ub {
+					ub = lb
+				}
+				return ub, false
+			}
+			ecc, _ := b.Eccentricity(w)
+			sweeps++
+			if ecc > lb {
+				lb = ecc
+			}
+			if lb >= uint32(2*i) {
+				return lb, true
+			}
+		}
+	}
+	return lb, true
+}
+
+// midpoint returns a vertex halfway along some shortest u-v path.
+func midpoint(g *graph.Graph, b *bfs.BFS, u, v graph.Node) graph.Node {
+	dist := b.Run(u)
+	target := dist[v] / 2
+	cur := v
+	for dist[cur] > target {
+		// step to any predecessor
+		for _, w := range g.Neighbors(cur) {
+			if dist[w]+1 == dist[cur] {
+				cur = w
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// Exact computes the exact diameter by running IFUB without a sweep cap.
+func Exact(g *graph.Graph) uint32 {
+	d, _ := IFUB(g, 0)
+	return d
+}
+
+// VertexDiameter returns the vertex diameter (number of vertices on a
+// longest shortest path): diameter + 1 for nonempty connected graphs. This
+// is the quantity KADABRA's omega formula consumes.
+func VertexDiameter(g *graph.Graph) int {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	if g.NumNodes() == 1 {
+		return 1
+	}
+	return int(Exact(g)) + 1
+}

@@ -1,0 +1,187 @@
+package diameter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// bruteDiameter computes the exact diameter with |V| BFS runs.
+func bruteDiameter(g *graph.Graph) uint32 {
+	b := bfs.New(g)
+	var diam uint32
+	for v := 0; v < g.NumNodes(); v++ {
+		dist := b.Run(graph.Node(v))
+		for _, d := range dist {
+			if d != bfs.Unreached && d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+func connectedRandom(seed uint64, n, m int) *graph.Graph {
+	r := rng.NewRand(seed)
+	edges := make([][2]graph.Node, 0, m+n)
+	// Random spanning tree to guarantee connectivity.
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]graph.Node{graph.Node(v), graph.Node(r.Intn(v))})
+	}
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]graph.Node{graph.Node(r.Intn(n)), graph.Node(r.Intn(n))})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	return b.Build()
+}
+
+func TestExactOnPath(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 101} {
+		if got := Exact(pathGraph(n)); got != uint32(n-1) {
+			t.Fatalf("path %d: diameter %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+func TestExactOnCycle(t *testing.T) {
+	for _, n := range []int{3, 4, 9, 10, 51} {
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(graph.Node(i), graph.Node((i+1)%n))
+		}
+		if got := Exact(b.Build()); got != uint32(n/2) {
+			t.Fatalf("cycle %d: diameter %d, want %d", n, got, n/2)
+		}
+	}
+}
+
+func TestExactOnStarAndClique(t *testing.T) {
+	// Star: diameter 2.
+	b := graph.NewBuilder(8)
+	for i := graph.Node(1); i < 8; i++ {
+		b.AddEdge(0, i)
+	}
+	if got := Exact(b.Build()); got != 2 {
+		t.Fatalf("star diameter %d, want 2", got)
+	}
+	// Clique: diameter 1.
+	b = graph.NewBuilder(6)
+	for i := graph.Node(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	if got := Exact(b.Build()); got != 1 {
+		t.Fatalf("clique diameter %d, want 1", got)
+	}
+}
+
+func TestIFUBMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%80) + 2
+		m := int(mRaw % 160)
+		g := connectedRandom(seed, n, m)
+		return Exact(g) == bruteDiameter(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleSweepIsLowerBound(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%80) + 2
+		m := int(mRaw % 160)
+		g := connectedRandom(seed, n, m)
+		return DoubleSweep(g, 0) <= bruteDiameter(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoApproxIsUpperBound(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%80) + 2
+		m := int(mRaw % 160)
+		g := connectedRandom(seed, n, m)
+		return TwoApprox(g) >= bruteDiameter(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIFUBSweepCapReturnsValidUpperBound(t *testing.T) {
+	g := gen.Road(gen.RoadParams{Rows: 40, Cols: 40, DeleteProb: 0.05, Seed: 3})
+	g, _ = graph.LargestComponent(g)
+	truth := bruteDiameter(g)
+	ub, exact := IFUB(g, 2)
+	if ub < truth {
+		t.Fatalf("capped IFUB bound %d below true diameter %d", ub, truth)
+	}
+	full, exactFull := IFUB(g, 0)
+	if !exactFull || full != truth {
+		t.Fatalf("uncapped IFUB %d (exact=%v), want %d", full, exactFull, truth)
+	}
+	_ = exact
+}
+
+func TestVertexDiameter(t *testing.T) {
+	if got := VertexDiameter(pathGraph(10)); got != 10 {
+		t.Fatalf("path vertex diameter %d, want 10", got)
+	}
+	if got := VertexDiameter(graph.NewBuilder(1).Build()); got != 1 {
+		t.Fatalf("singleton vertex diameter %d, want 1", got)
+	}
+	if got := VertexDiameter(graph.NewBuilder(0).Build()); got != 0 {
+		t.Fatalf("empty vertex diameter %d, want 0", got)
+	}
+}
+
+func TestExactOnRoadProxy(t *testing.T) {
+	// Road networks are IFUB's hard case (high diameter); make sure we agree
+	// with brute force on a small one.
+	g := gen.Road(gen.RoadParams{Rows: 20, Cols: 25, DeleteProb: 0.1, DiagonalProb: 0.05, Seed: 7})
+	g, _ = graph.LargestComponent(g)
+	if got, want := Exact(g), bruteDiameter(g); got != want {
+		t.Fatalf("road diameter %d, want %d", got, want)
+	}
+}
+
+func TestExactOnRMAT(t *testing.T) {
+	g := gen.RMAT(gen.Graph500(9, 8, 2))
+	g, _ = graph.LargestComponent(g)
+	if got, want := Exact(g), bruteDiameter(g); got != want {
+		t.Fatalf("rmat diameter %d, want %d", got, want)
+	}
+}
+
+func BenchmarkIFUBRoad(b *testing.B) {
+	g := gen.Road(gen.RoadParams{Rows: 150, Cols: 150, DeleteProb: 0.1, DiagonalProb: 0.05, Seed: 1})
+	g, _ = graph.LargestComponent(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(g)
+	}
+}
+
+func BenchmarkIFUBRMAT(b *testing.B) {
+	g := gen.RMAT(gen.Graph500(13, 16, 1))
+	g, _ = graph.LargestComponent(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(g)
+	}
+}

@@ -1,0 +1,168 @@
+// Package epoch implements the epoch-based framework of van der Grinten,
+// Angriman and Meyerhenke (Euro-Par 2019, the paper's Ref. 24): a wait-free
+// mechanism that lets one coordinator thread aggregate per-thread sampling
+// states ("state frames") from T sampling threads without ever blocking
+// them, while fully overlapping the aggregation with further sampling.
+//
+// The paper's §IV-B describes the mechanism as a specialized non-blocking,
+// asymmetric barrier with two operations:
+//
+//   - ForceTransition(e): called only by thread 0 in epoch e; initiates an
+//     epoch transition and immediately advances thread 0 to epoch e+1.
+//     Thread 0 then monitors completion (TransitionDone) while sampling.
+//   - CheckTransition(e): called by threads t != 0 in epoch e; if a
+//     transition has been initiated, the thread advances to epoch e+1 and
+//     the call returns true, otherwise it is a no-op returning false.
+//
+// Once every thread has advanced past e, the epoch-e state frames are
+// immutable and thread 0 may read them without synchronization (the
+// happens-before edge is established by each thread's atomic epoch store
+// and thread 0's atomic load).
+//
+// Each thread owns exactly two state frames, indexed by epoch parity: the
+// algorithm guarantees no thread touches frames of epoch e-2 once epoch e
+// has begun (paper §IV-C), so frames are reused ping-pong style. Thread 0
+// zeroes a frame right after consuming it, which happens strictly before
+// the owning thread can reach the epoch that writes it again.
+package epoch
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// StateFrame is one thread's sampling state for one epoch: the number of
+// samples Tau and the per-vertex path counts C (c-tilde in the paper). The
+// same representation feeds the MPI reduction in the distributed algorithm,
+// so aggregation is a single vector addition everywhere.
+type StateFrame struct {
+	Tau int64
+	C   []int64
+}
+
+// NewStateFrame returns a zeroed state frame of the given vector length.
+func NewStateFrame(n int) *StateFrame {
+	return &StateFrame{C: make([]int64, n)}
+}
+
+// Reset zeroes the frame in place.
+func (sf *StateFrame) Reset() {
+	sf.Tau = 0
+	for i := range sf.C {
+		sf.C[i] = 0
+	}
+}
+
+// Add accumulates src into sf.
+func (sf *StateFrame) Add(src *StateFrame) {
+	sf.Tau += src.Tau
+	for i, v := range src.C {
+		sf.C[i] += v
+	}
+}
+
+// padded prevents false sharing between the per-thread epoch counters; the
+// sampling threads store to their own counter on every CheckTransition.
+type padded struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Framework coordinates T threads. Thread indices are 0..T-1; index 0 is the
+// coordinator. The zero value is not usable; call New.
+type Framework struct {
+	t      int
+	target atomic.Uint64 // epoch every thread should advance to
+	epochs []padded      // epochs[i]: current epoch of thread i
+	frames [][2]*StateFrame
+}
+
+// New creates a framework for t threads with state-frame vectors of length n.
+func New(t, n int) *Framework {
+	if t < 1 {
+		panic("epoch: need at least one thread")
+	}
+	f := &Framework{
+		t:      t,
+		epochs: make([]padded, t),
+		frames: make([][2]*StateFrame, t),
+	}
+	for i := range f.frames {
+		f.frames[i] = [2]*StateFrame{NewStateFrame(n), NewStateFrame(n)}
+	}
+	return f
+}
+
+// Threads returns T.
+func (f *Framework) Threads() int { return f.t }
+
+// Epoch returns the current epoch of thread t (only meaningful when called
+// from thread t itself or for diagnostics).
+func (f *Framework) Epoch(t int) uint64 { return f.epochs[t].v.Load() }
+
+// Frame returns the state frame thread t writes during its current epoch.
+// Only thread t may write to it.
+func (f *Framework) Frame(t int) *StateFrame {
+	return f.frames[t][f.epochs[t].v.Load()&1]
+}
+
+// FrameAt returns thread t's frame for the given epoch. Thread 0 uses it to
+// read frozen frames and to pre-fill its next-epoch frame during a
+// transition (paper Alg. 2 lines 15/21/27).
+func (f *Framework) FrameAt(t int, e uint64) *StateFrame {
+	return f.frames[t][e&1]
+}
+
+// CheckTransition is the sampling-thread side of the barrier (paper §IV-B).
+// Called by thread t (t != 0); if thread 0 has initiated a transition past
+// t's current epoch, t advances one epoch and the call returns true. The
+// call is wait-free: one atomic load, plus one atomic store when advancing.
+func (f *Framework) CheckTransition(t int) bool {
+	cur := f.epochs[t].v.Load()
+	if f.target.Load() <= cur {
+		return false
+	}
+	// Advance exactly one epoch per call; the new frame (parity of cur+1)
+	// was consumed and zeroed by thread 0 during epoch cur, so it is clean.
+	f.epochs[t].v.Store(cur + 1)
+	return true
+}
+
+// ForceTransition is the coordinator side: it initiates a transition from
+// thread 0's current epoch e to e+1 and advances thread 0 immediately. It
+// must only be called by thread 0, and only when no transition is in
+// progress (i.e. after TransitionDone(e) returned true for the previous
+// epoch). Returns the new epoch of thread 0.
+func (f *Framework) ForceTransition() uint64 {
+	e := f.epochs[0].v.Load()
+	f.target.Store(e + 1)
+	f.epochs[0].v.Store(e + 1)
+	return e + 1
+}
+
+// TransitionDone reports whether every thread has advanced to at least the
+// given epoch. Thread 0 polls it while sampling into its next-epoch frame;
+// the poll is O(T) as stated in the paper.
+func (f *Framework) TransitionDone(e uint64) bool {
+	for i := range f.epochs {
+		if f.epochs[i].v.Load() < e {
+			return false
+		}
+	}
+	return true
+}
+
+// AggregateEpoch sums every thread's frame of epoch e into dst and zeroes
+// the source frames for reuse. It must only be called by thread 0, after
+// TransitionDone(e+1) has returned true (so the epoch-e frames are frozen).
+// dst must have the same vector length as the frames.
+func (f *Framework) AggregateEpoch(e uint64, dst *StateFrame) {
+	for t := 0; t < f.t; t++ {
+		src := f.frames[t][e&1]
+		if len(src.C) != len(dst.C) {
+			panic(fmt.Sprintf("epoch: frame length mismatch %d vs %d", len(src.C), len(dst.C)))
+		}
+		dst.Add(src)
+		src.Reset()
+	}
+}

@@ -1,0 +1,243 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestStateFrameAddReset(t *testing.T) {
+	a := NewStateFrame(3)
+	b := NewStateFrame(3)
+	a.Tau, a.C[0], a.C[2] = 5, 1, 2
+	b.Tau, b.C[0], b.C[1] = 7, 10, 20
+	b.Add(a)
+	if b.Tau != 12 || b.C[0] != 11 || b.C[1] != 20 || b.C[2] != 2 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+	a.Reset()
+	if a.Tau != 0 || a.C[0] != 0 || a.C[2] != 0 {
+		t.Fatalf("Reset wrong: %+v", a)
+	}
+}
+
+func TestSingleThreadTransitions(t *testing.T) {
+	f := New(1, 2)
+	if f.Epoch(0) != 0 {
+		t.Fatal("initial epoch not 0")
+	}
+	f.Frame(0).Tau = 3
+	e := f.ForceTransition()
+	if e != 1 || !f.TransitionDone(1) {
+		t.Fatal("single-thread transition must complete immediately")
+	}
+	f.Frame(0).Tau = 9 // epoch-1 frame
+	dst := NewStateFrame(2)
+	f.AggregateEpoch(0, dst)
+	if dst.Tau != 3 {
+		t.Fatalf("aggregated Tau = %d, want 3", dst.Tau)
+	}
+	if f.FrameAt(0, 0).Tau != 0 {
+		t.Fatal("consumed frame not reset")
+	}
+	if f.Frame(0).Tau != 9 {
+		t.Fatal("current frame clobbered by aggregation")
+	}
+}
+
+func TestCheckTransitionNoopBeforeForce(t *testing.T) {
+	f := New(2, 1)
+	if f.CheckTransition(1) {
+		t.Fatal("CheckTransition fired before ForceTransition")
+	}
+	f.ForceTransition()
+	if !f.CheckTransition(1) {
+		t.Fatal("CheckTransition did not fire after ForceTransition")
+	}
+	if f.CheckTransition(1) {
+		t.Fatal("CheckTransition advanced twice for one transition")
+	}
+	if !f.TransitionDone(1) {
+		t.Fatal("transition not done after all threads advanced")
+	}
+}
+
+// TestNoLostSamplesUnderConcurrency is the core safety property: every
+// sample recorded by any thread in any epoch is aggregated exactly once.
+func TestNoLostSamplesUnderConcurrency(t *testing.T) {
+	const T = 8
+	const vecLen = 64
+	const epochs = 50
+	f := New(T, vecLen)
+	var stop atomic.Bool
+	var produced [T]int64 // total samples each thread claims to have taken
+
+	var wg sync.WaitGroup
+	for th := 1; th < T; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			r := rng.NewRand(uint64(th))
+			sf := f.Frame(th)
+			for !stop.Load() {
+				// take a "sample"
+				sf.Tau++
+				sf.C[r.Intn(vecLen)]++
+				produced[th]++
+				if f.CheckTransition(th) {
+					sf = f.Frame(th)
+				}
+			}
+			// Drain: advance through any pending transitions so the final
+			// frames freeze.
+			for f.CheckTransition(th) {
+			}
+		}(th)
+	}
+
+	total := NewStateFrame(vecLen)
+	r := rng.NewRand(0)
+	for e := uint64(0); e < epochs; e++ {
+		// thread 0 samples a bit into its current frame
+		sf := f.Frame(0)
+		for i := 0; i < 100; i++ {
+			sf.Tau++
+			sf.C[r.Intn(vecLen)]++
+			produced[0]++
+		}
+		f.ForceTransition()
+		nf := f.Frame(0)
+		for !f.TransitionDone(e + 1) {
+			nf.Tau++
+			nf.C[r.Intn(vecLen)]++
+			produced[0]++
+		}
+		f.AggregateEpoch(e, total)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Collect what is still sitting in unaggregated frames (the final epoch
+	// and any partial next-epoch frames).
+	for th := 0; th < T; th++ {
+		total.Add(f.FrameAt(th, 0))
+		total.Add(f.FrameAt(th, 1))
+	}
+	var want int64
+	for _, p := range produced {
+		want += p
+	}
+	if total.Tau != want {
+		t.Fatalf("lost or duplicated samples: aggregated %d, produced %d", total.Tau, want)
+	}
+	var sumC int64
+	for _, c := range total.C {
+		sumC += c
+	}
+	if sumC != want {
+		t.Fatalf("vector counts %d != tau %d", sumC, want)
+	}
+}
+
+// TestEpochSkewBound verifies threads never lag more than one epoch behind
+// the coordinator while transitions are being completed before new ones are
+// forced (the precondition the two-frame reuse relies on).
+func TestEpochSkewBound(t *testing.T) {
+	const T = 4
+	f := New(T, 1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for th := 1; th < T; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for !stop.Load() {
+				f.CheckTransition(th)
+			}
+		}(th)
+	}
+	for e := uint64(0); e < 200; e++ {
+		f.ForceTransition()
+		for !f.TransitionDone(e + 1) {
+		}
+		for th := 0; th < T; th++ {
+			got := f.Epoch(th)
+			if got != e+1 {
+				t.Fatalf("thread %d at epoch %d, coordinator at %d", th, got, e+1)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestFrameParityReuse(t *testing.T) {
+	f := New(1, 1)
+	f0 := f.Frame(0)
+	f.ForceTransition()
+	f1 := f.Frame(0)
+	if f0 == f1 {
+		t.Fatal("consecutive epochs share a frame")
+	}
+	f.AggregateEpoch(0, NewStateFrame(1))
+	f.ForceTransition()
+	f2 := f.Frame(0)
+	if f2 != f0 {
+		t.Fatal("epoch e+2 must reuse the epoch-e frame")
+	}
+}
+
+func TestNewPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestAggregateLengthMismatchPanics(t *testing.T) {
+	f := New(1, 3)
+	f.ForceTransition()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	f.AggregateEpoch(0, NewStateFrame(2))
+}
+
+func BenchmarkCheckTransitionNoop(b *testing.B) {
+	f := New(2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CheckTransition(1)
+	}
+}
+
+func BenchmarkTransitionRoundTrip(b *testing.B) {
+	const T = 4
+	f := New(T, 1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for th := 1; th < T; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for !stop.Load() {
+				f.CheckTransition(th)
+			}
+		}(th)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := f.ForceTransition()
+		for !f.TransitionDone(e) {
+		}
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuiteShape(t *testing.T) {
+	insts := Suite()
+	if len(insts) != 10 {
+		t.Fatalf("suite has %d instances, want 10 (Table I)", len(insts))
+	}
+	kinds := map[string]int{}
+	for _, in := range insts {
+		kinds[in.Kind]++
+		if in.Eps <= 0 {
+			t.Fatalf("%s: eps not set", in.Name)
+		}
+	}
+	if kinds["road"] < 3 {
+		t.Fatalf("want >=3 road instances, got %d", kinds["road"])
+	}
+	if kinds["social"]+kinds["web"] < 6 {
+		t.Fatalf("want >=6 complex-network instances")
+	}
+}
+
+func TestInstanceGraphCachedAndConnected(t *testing.T) {
+	in, err := Lookup("road-pa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := in.Graph()
+	g2 := in.Graph()
+	if g1 != g2 {
+		t.Fatal("instance graph not cached")
+	}
+	if g1.NumNodes() < 1000 {
+		t.Fatalf("road-pa too small: %d", g1.NumNodes())
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestRoadProxiesHaveHighDiameter(t *testing.T) {
+	// The defining property the proxies must preserve (Table I: road
+	// networks have diameters in the hundreds-thousands, complex networks
+	// below ~120).
+	road, err := Lookup("road-ne")
+	if err != nil {
+		t.Fatal(err)
+	}
+	social, err := Lookup("rmat-orkut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := TableI(&sb, []*Instance{road, social}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "road-ne") || !strings.Contains(out, "rmat-orkut") {
+		t.Fatalf("TableI output missing instances:\n%s", out)
+	}
+}
+
+func TestSmallSuite(t *testing.T) {
+	insts := SmallSuite()
+	if len(insts) != 3 {
+		t.Fatalf("small suite has %d instances", len(insts))
+	}
+	for _, in := range insts {
+		if in == nil {
+			t.Fatal("nil instance in small suite")
+		}
+	}
+}
+
+func TestTableIIRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := TableII(&sb, BenchSuite()[:1], 16); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bench-road") {
+		t.Fatalf("TableII output:\n%s", sb.String())
+	}
+}
+
+func TestFig2aRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig2a(&sb, BenchSuite()[1:2], []int{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| 1 |") || !strings.Contains(out, "| 4 |") {
+		t.Fatalf("Fig2a output:\n%s", out)
+	}
+}
+
+func TestBenchSuiteShape(t *testing.T) {
+	insts := BenchSuite()
+	if len(insts) != 3 {
+		t.Fatalf("bench suite has %d instances", len(insts))
+	}
+	for _, in := range insts {
+		g := in.Graph()
+		if g.NumNodes() < 1000 || g.NumNodes() > 100000 {
+			t.Fatalf("%s: %d nodes outside bench range", in.Name, g.NumNodes())
+		}
+	}
+}
+
+func TestFig4RejectsUnknownKind(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig4(&sb, "nonsense", []int{13}, 16); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestFig2bAndFig3Drivers(t *testing.T) {
+	insts := BenchSuite()[1:2]
+	nodes := []int{1, 4}
+	var sb strings.Builder
+	if err := Fig2b(&sb, insts, nodes); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig3a(&sb, insts, nodes); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig3b(&sb, insts, nodes); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 2b", "Fig 3a", "Fig 3b", "ibarrier"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in driver output:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4Driver(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig4(&sb, "rmat", []int{11}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "log2|V|") {
+		t.Fatalf("Fig4 output:\n%s", sb.String())
+	}
+}
+
+func TestNUMADriver(t *testing.T) {
+	var sb strings.Builder
+	if err := NUMA(&sb, BenchSuite()[1:2]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Fatalf("NUMA output:\n%s", sb.String())
+	}
+}
+
+func TestAccuracyDriver(t *testing.T) {
+	var sb strings.Builder
+	// Only the small social bench instance qualifies under the cap.
+	if err := Accuracy(&sb, BenchSuite()[1:2], 10000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "max abs err") {
+		t.Fatalf("Accuracy output:\n%s", sb.String())
+	}
+}

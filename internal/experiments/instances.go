@@ -1,0 +1,153 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation (§V), shared by cmd/experiments and the
+// top-level benchmarks.
+//
+// The paper's instances (Table I) reach 3.3 billion edges; this
+// reproduction substitutes laptop-scale synthetic proxies that preserve the
+// two structural axes that drive the paper's phenomena: diameter (road
+// networks: huge diameter, many samples, tiny frames) and size (web/social
+// graphs: tiny diameter, few epochs, huge frames). Accordingly, eps is
+// scaled from the paper's 0.001 to 0.01: both the sample budget
+// (omega ~ 1/eps^2) and the instance sizes shrink ~100x, keeping the
+// relative workload shape.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Instance is one Table-I row: a named, lazily built, cached graph.
+type Instance struct {
+	// Name is the proxy's name; PaperName the instance of the paper it
+	// stands in for.
+	Name      string
+	PaperName string
+	// Kind is "road", "social" or "web" (drives expectations in tests).
+	Kind string
+	// Eps is the per-instance approximation error used by the experiment
+	// drivers (uniformly 0.01 here; the paper uses 0.001 at 100x scale).
+	Eps float64
+
+	build func() *graph.Graph
+
+	once sync.Once
+	g    *graph.Graph
+}
+
+// Graph builds (once) and returns the instance's largest connected
+// component, matching the paper's preprocessing (§V-A).
+func (in *Instance) Graph() *graph.Graph {
+	in.once.Do(func() {
+		g := in.build()
+		in.g, _ = graph.LargestComponent(g)
+	})
+	return in.g
+}
+
+// Suite returns the ten Table-I proxies in the paper's order.
+func Suite() []*Instance {
+	return []*Instance{
+		{
+			Name: "road-pa", PaperName: "roadNet-PA", Kind: "road", Eps: 0.01,
+			build: func() *graph.Graph {
+				return gen.Road(gen.RoadParams{Rows: 150, Cols: 150, DeleteProb: 0.10, DiagonalProb: 0.03, Seed: 101})
+			},
+		},
+		{
+			Name: "road-ca", PaperName: "roadNet-CA", Kind: "road", Eps: 0.01,
+			build: func() *graph.Graph {
+				return gen.Road(gen.RoadParams{Rows: 200, Cols: 200, DeleteProb: 0.10, DiagonalProb: 0.03, Seed: 102})
+			},
+		},
+		{
+			Name: "road-ne", PaperName: "dimacs9-NE", Kind: "road", Eps: 0.01,
+			build: func() *graph.Graph {
+				// Elongated lattice: the highest-diameter instance, like
+				// dimacs9-NE (diameter 2098 at 1.5M nodes).
+				return gen.Road(gen.RoadParams{Rows: 500, Cols: 40, DeleteProb: 0.08, DiagonalProb: 0.02, Seed: 103})
+			},
+		},
+		{
+			Name: "rmat-orkut", PaperName: "orkut-links", Kind: "social", Eps: 0.01,
+			build: func() *graph.Graph { return gen.RMAT(gen.Graph500(14, 38, 104)) },
+		},
+		{
+			Name: "rmat-dbpedia", PaperName: "dbpedia-link", Kind: "web", Eps: 0.01,
+			build: func() *graph.Graph { return gen.RMAT(gen.Graph500(15, 8, 105)) },
+		},
+		{
+			Name: "hyp-uk2002", PaperName: "dimacs10-uk-2002", Kind: "web", Eps: 0.01,
+			build: func() *graph.Graph {
+				return gen.Hyperbolic(gen.HyperbolicParams{N: 40000, AvgDegree: 28, Gamma: 3, Seed: 106})
+			},
+		},
+		{
+			Name: "rmat-wiki", PaperName: "wikipedia_link_en", Kind: "web", Eps: 0.01,
+			build: func() *graph.Graph { return gen.RMAT(gen.Graph500(15, 32, 107)) },
+		},
+		{
+			Name: "rmat-twitter", PaperName: "twitter", Kind: "social", Eps: 0.01,
+			build: func() *graph.Graph { return gen.RMAT(gen.Graph500(16, 35, 108)) },
+		},
+		{
+			Name: "rmat-friendster", PaperName: "friendster", Kind: "social", Eps: 0.01,
+			build: func() *graph.Graph { return gen.RMAT(gen.Graph500(16, 38, 109)) },
+		},
+		{
+			Name: "hyp-uk2007", PaperName: "dimacs10-uk-2007-05", Kind: "web", Eps: 0.01,
+			build: func() *graph.Graph {
+				return gen.Hyperbolic(gen.HyperbolicParams{N: 100000, AvgDegree: 31, Gamma: 3, Seed: 110})
+			},
+		},
+	}
+}
+
+// SmallSuite returns three representative proxies (one per kind) for quick
+// benchmark runs.
+func SmallSuite() []*Instance {
+	all := Suite()
+	byName := map[string]*Instance{}
+	for _, in := range all {
+		byName[in.Name] = in
+	}
+	return []*Instance{byName["road-pa"], byName["rmat-orkut"], byName["rmat-dbpedia"]}
+}
+
+// BenchSuite returns miniature instances (one per kind, seconds per full
+// simulated run) used by the testing.B benchmarks and quick tests. The
+// structural contrast (high-diameter road vs low-diameter complex network)
+// is preserved at reduced scale.
+func BenchSuite() []*Instance {
+	return []*Instance{
+		{
+			Name: "bench-road", PaperName: "roadNet-PA (mini)", Kind: "road", Eps: 0.02,
+			build: func() *graph.Graph {
+				return gen.Road(gen.RoadParams{Rows: 70, Cols: 70, DeleteProb: 0.10, DiagonalProb: 0.03, Seed: 111})
+			},
+		},
+		{
+			Name: "bench-social", PaperName: "orkut-links (mini)", Kind: "social", Eps: 0.02,
+			build: func() *graph.Graph { return gen.RMAT(gen.Graph500(12, 16, 112)) },
+		},
+		{
+			Name: "bench-web", PaperName: "dimacs10-uk-2002 (mini)", Kind: "web", Eps: 0.02,
+			build: func() *graph.Graph {
+				return gen.Hyperbolic(gen.HyperbolicParams{N: 8000, AvgDegree: 24, Gamma: 3, Seed: 113})
+			},
+		},
+	}
+}
+
+// Lookup finds an instance by name across Suite().
+func Lookup(name string) (*Instance, error) {
+	for _, in := range Suite() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown instance %q", name)
+}

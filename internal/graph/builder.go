@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces a canonical CSR Graph.
+// Duplicate edges and self loops are silently dropped, matching how the
+// paper's pipeline reads raw KONECT/SNAP edge lists ("all graphs were read
+// as undirected and unweighted").
+//
+// Builder is not safe for concurrent use; generators that produce edges in
+// parallel should merge per-worker edge slices and call FromEdges.
+type Builder struct {
+	n     int
+	edges []edge
+}
+
+type edge struct{ u, v Node }
+
+// NewBuilder returns a builder for a graph with n vertices (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self loops are ignored.
+// It panics if either endpoint is out of range.
+func (b *Builder) AddEdge(u, v Node) {
+	if int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, edge{u, v})
+}
+
+// NumPendingEdges reports how many edges (including duplicates) have been
+// added so far. Useful for generators that target an edge budget.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build produces the CSR graph, deduplicating edges.
+func (b *Builder) Build() *Graph {
+	// Sort canonical (u<v) edges, deduplicate, then count both directions.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].u != b.edges[j].u {
+			return b.edges[i].u < b.edges[j].u
+		}
+		return b.edges[i].v < b.edges[j].v
+	})
+	dedup := b.edges[:0]
+	var last edge = edge{InvalidNode, InvalidNode}
+	for _, e := range b.edges {
+		if e != last {
+			dedup = append(dedup, e)
+			last = e
+		}
+	}
+	b.edges = dedup
+
+	offsets := make([]uint64, b.n+1)
+	for _, e := range b.edges {
+		offsets[e.u+1]++
+		offsets[e.v+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]Node, offsets[b.n])
+	cursor := make([]uint64, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range b.edges {
+		adj[cursor[e.u]] = e.v
+		cursor[e.u]++
+		adj[cursor[e.v]] = e.u
+		cursor[e.v]++
+	}
+	// Each neighbour list is filled in ascending order of the opposite
+	// endpoint only for the u side; the v side receives u values in sorted
+	// order of (u,v) pairs, which is ascending in u — so both sides come out
+	// sorted except interleaving between "as-u" and "as-v" roles. Sort each
+	// list to be safe; lists are short on average and this is build-time.
+	for v := 0; v < b.n; v++ {
+		s := adj[offsets[v]:offsets[v+1]]
+		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		}
+	}
+	return &Graph{Offsets: offsets, Adj: adj}
+}
+
+// FromEdges builds a graph directly from an edge slice. Duplicates and self
+// loops are removed. The input slice is not modified.
+func FromEdges(n int, edges [][2]Node) *Graph {
+	b := NewBuilder(n)
+	b.edges = make([]edge, 0, len(edges))
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Subgraph returns the induced subgraph on keep (a set of vertex IDs),
+// together with the mapping oldID -> newID. Vertices are renumbered
+// 0..len(keep)-1 in ascending order of old ID.
+func Subgraph(g *Graph, keep []Node) (*Graph, map[Node]Node) {
+	sorted := append([]Node(nil), keep...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	remap := make(map[Node]Node, len(sorted))
+	for i, v := range sorted {
+		remap[v] = Node(i)
+	}
+	b := NewBuilder(len(sorted))
+	for _, v := range sorted {
+		for _, w := range g.Neighbors(v) {
+			if nw, ok := remap[w]; ok && v < w {
+				b.AddEdge(remap[v], nw)
+			}
+		}
+	}
+	return b.Build(), remap
+}

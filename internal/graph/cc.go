@@ -1,0 +1,73 @@
+package graph
+
+// ConnectedComponents labels each vertex with a component ID in [0, k) and
+// returns the labels and the component sizes. It runs a sequence of BFS
+// sweeps using an explicit queue (no recursion), so it handles path graphs of
+// arbitrary length.
+func ConnectedComponents(g *Graph) (labels []int32, sizes []int) {
+	n := g.NumNodes()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]Node, 0, 1024)
+	for start := 0; start < n; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		id := int32(len(sizes))
+		labels[start] = id
+		size := 1
+		queue = append(queue[:0], Node(start))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if labels[w] < 0 {
+					labels[w] = id
+					size++
+					queue = append(queue, w)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return labels, sizes
+}
+
+// LargestComponent returns the induced subgraph on the largest connected
+// component, as the paper does for disconnected inputs (§V-A: "For
+// disconnected graphs, we consider the largest connected component)".
+// The second return value maps old vertex IDs to new ones for vertices that
+// were kept.
+func LargestComponent(g *Graph) (*Graph, map[Node]Node) {
+	labels, sizes := ConnectedComponents(g)
+	if len(sizes) <= 1 {
+		// Already connected (or empty); return g itself with an identity map.
+		remap := make(map[Node]Node, g.NumNodes())
+		for v := 0; v < g.NumNodes(); v++ {
+			remap[Node(v)] = Node(v)
+		}
+		return g, remap
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	keep := make([]Node, 0, sizes[best])
+	for v, l := range labels {
+		if l == int32(best) {
+			keep = append(keep, Node(v))
+		}
+	}
+	return Subgraph(g, keep)
+}
+
+// IsConnected reports whether g has exactly one connected component
+// (the empty graph counts as connected).
+func IsConnected(g *Graph) bool {
+	_, sizes := ConnectedComponents(g)
+	return len(sizes) <= 1
+}

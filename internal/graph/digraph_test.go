@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomArcs(r *rng.Rand, n, m int) [][2]Node {
+	arcs := make([][2]Node, m)
+	for i := range arcs {
+		arcs[i] = [2]Node{Node(r.Intn(n)), Node(r.Intn(n))}
+	}
+	return arcs
+}
+
+func TestFromArcsBasics(t *testing.T) {
+	g := FromArcs(4, [][2]Node{{0, 1}, {1, 2}, {1, 2}, {2, 2}, {2, 0}})
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumArcs() != 3 { // duplicate and self-loop dropped
+		t.Fatalf("NumArcs = %d, want 3", g.NumArcs())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(1) != 1 || g.InDegree(2) != 1 || g.InDegree(0) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	// Direction matters: 0->1 exists, 1->0 does not.
+	succ0 := g.Successors(0)
+	if len(succ0) != 1 || succ0[0] != 1 {
+		t.Fatalf("Successors(0) = %v", succ0)
+	}
+	if len(g.Successors(3)) != 0 || g.InDegree(3) != 0 {
+		t.Fatal("isolated vertex has arcs")
+	}
+}
+
+func TestFromArcsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range arc accepted")
+		}
+	}()
+	FromArcs(2, [][2]Node{{0, 5}})
+}
+
+func TestDigraphValidateRandom(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%100) + 1
+		m := int(mRaw % 400)
+		g := FromArcs(n, randomArcs(rng.NewRand(seed), n, m))
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sccRef computes SCCs by brute-force reachability (O(V^2 E) closure).
+func sccRef(g *Digraph) []int32 {
+	n := g.NumNodes()
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		reach[s][s] = true
+		queue := []Node{Node(s)}
+		for head := 0; head < len(queue); head++ {
+			for _, w := range g.Successors(queue[head]) {
+				if !reach[s][w] {
+					reach[s][w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		labels[v] = next
+		for w := v + 1; w < n; w++ {
+			if labels[w] < 0 && reach[v][w] && reach[w][v] {
+				labels[w] = next
+			}
+		}
+		next++
+	}
+	return labels
+}
+
+func TestSCCMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		m := int(mRaw % 120)
+		g := FromArcs(n, randomArcs(rng.NewRand(seed), n, m))
+		got, _ := StronglyConnectedComponents(g)
+		want := sccRef(g)
+		// Labels may differ by renaming; compare the partition.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (got[i] == got[j]) != (want[i] == want[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCKnownCases(t *testing.T) {
+	// Directed cycle: one SCC.
+	cyc := FromArcs(4, [][2]Node{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	_, sizes := StronglyConnectedComponents(cyc)
+	if len(sizes) != 1 || sizes[0] != 4 {
+		t.Fatalf("cycle SCCs: %v", sizes)
+	}
+	// Directed path: n singleton SCCs.
+	path := FromArcs(4, [][2]Node{{0, 1}, {1, 2}, {2, 3}})
+	_, sizes = StronglyConnectedComponents(path)
+	if len(sizes) != 4 {
+		t.Fatalf("path SCCs: %v", sizes)
+	}
+}
+
+func TestSCCDeepGraphNoStackOverflow(t *testing.T) {
+	// A long directed cycle exercises the iterative Tarjan implementation.
+	n := 200000
+	arcs := make([][2]Node, n)
+	for i := 0; i < n; i++ {
+		arcs[i] = [2]Node{Node(i), Node((i + 1) % n)}
+	}
+	g := FromArcs(n, arcs)
+	_, sizes := StronglyConnectedComponents(g)
+	if len(sizes) != 1 || sizes[0] != n {
+		t.Fatalf("long cycle SCCs: %d components", len(sizes))
+	}
+}
+
+func TestLargestSCC(t *testing.T) {
+	// Two cycles of sizes 3 and 5 connected by a one-way bridge.
+	arcs := [][2]Node{
+		{0, 1}, {1, 2}, {2, 0}, // cycle A (3)
+		{2, 3},                                 // bridge
+		{3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 3}, // cycle B (5)
+	}
+	g := FromArcs(8, arcs)
+	scc, remap := LargestSCC(g)
+	if scc.NumNodes() != 5 {
+		t.Fatalf("largest SCC has %d nodes, want 5", scc.NumNodes())
+	}
+	if err := scc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := remap[0]; ok {
+		t.Fatal("remap contains vertex from smaller SCC")
+	}
+	_, sizes := StronglyConnectedComponents(scc)
+	if len(sizes) != 1 {
+		t.Fatal("largest SCC not strongly connected")
+	}
+}
+
+func TestUnderlying(t *testing.T) {
+	g := FromArcs(3, [][2]Node{{0, 1}, {1, 0}, {1, 2}})
+	u := g.Underlying()
+	if u.NumEdges() != 2 { // {0,1} collapses
+		t.Fatalf("underlying edges = %d, want 2", u.NumEdges())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package graph provides the compressed-sparse-row (CSR) graph data
+// structure used by all algorithms in this repository, together with a
+// builder, connected-component utilities and text/binary I/O.
+//
+// Following the paper (§IV-F), vertices are identified by 32-bit IDs and all
+// graphs are undirected and unweighted. An undirected edge {u,v} is stored in
+// the adjacency of both endpoints, so for a graph with M undirected edges the
+// CSR arrays hold 2M entries. Because the graph is undirected, the transpose
+// that NetworKit stores explicitly for bidirectional BFS is implicit.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a 32-bit vertex identifier, as configured in the paper's NetworKit
+// setup. 32 bits suffice for graphs with up to ~4.29 billion vertices.
+type Node = uint32
+
+// InvalidNode is a sentinel for "no vertex" (e.g. BFS predecessors of roots).
+const InvalidNode = Node(math.MaxUint32)
+
+// Graph is an immutable undirected graph in CSR form.
+//
+// The adjacency of vertex v is Adj[Offsets[v]:Offsets[v+1]]. Neighbour lists
+// are sorted ascending and contain no duplicates or self-loops; Builder
+// enforces this. Immutability is what lets many sampler goroutines share one
+// Graph with zero synchronization (paper §I-A: "a single sample can be taken
+// locally ... without involving any communication").
+type Graph struct {
+	// Offsets has length NumNodes+1; Offsets[v] is the start of v's
+	// neighbour list in Adj.
+	Offsets []uint64
+	// Adj holds the concatenated, sorted neighbour lists (2M entries).
+	Adj []Node
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns |E|, the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v Node) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the (sorted, read-only) neighbour list of v. Callers must
+// not modify the returned slice.
+func (g *Graph) Neighbors(v Node) []Node {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge, via binary search in the
+// neighbour list of the lower-degree endpoint.
+func (g *Graph) HasEdge(u, v Node) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	adj := g.Neighbors(u)
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(adj) && adj[lo] == v
+}
+
+// ForEdges calls fn once per undirected edge {u, v} with u < v.
+func (g *Graph) ForEdges(fn func(u, v Node)) {
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(Node(u)) {
+			if Node(u) < v {
+				fn(Node(u), v)
+			}
+		}
+	}
+}
+
+// MaxDegreeNode returns a vertex of maximum degree, a common BFS starting
+// point for diameter heuristics. For an empty graph it returns 0.
+func (g *Graph) MaxDegreeNode() Node {
+	best, bestDeg := Node(0), -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(Node(v)); d > bestDeg {
+			best, bestDeg = Node(v), d
+		}
+	}
+	return best
+}
+
+// Validate checks the structural invariants of the CSR representation:
+// monotone offsets, sorted duplicate-free neighbour lists, no self loops and
+// symmetric adjacency. It is used by tests and by the binary loader to guard
+// against corrupted files.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if n < 0 {
+		return fmt.Errorf("graph: negative node count")
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: Offsets[0] = %d, want 0", g.Offsets[0])
+	}
+	if g.Offsets[n] != uint64(len(g.Adj)) {
+		return fmt.Errorf("graph: Offsets[n] = %d, want %d", g.Offsets[n], len(g.Adj))
+	}
+	for v := 0; v < n; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		adj := g.Neighbors(Node(v))
+		for i, w := range adj {
+			if w >= Node(n) {
+				return fmt.Errorf("graph: neighbour %d of %d out of range", w, v)
+			}
+			if w == Node(v) {
+				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if i > 0 && adj[i-1] >= w {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			if !g.HasEdge(w, Node(v)) {
+				return fmt.Errorf("graph: edge %d->%d not symmetric", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// MemoryFootprint returns the approximate number of bytes held by the CSR
+// arrays. Used by tools that report Table-I-style statistics.
+func (g *Graph) MemoryFootprint() int64 {
+	return int64(len(g.Offsets))*8 + int64(len(g.Adj))*4
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WGraph is an immutable undirected graph with positive integer edge
+// weights in CSR form, supporting the weighted variant of the sampling
+// algorithm (paper footnote 1). Integer weights keep shortest-path
+// comparisons and path counting exact — with floating-point weights, "equal
+// length" becomes numerically ambiguous and the uniform-path sampling
+// distribution ill-defined.
+type WGraph struct {
+	Offsets []uint64
+	Adj     []Node
+	// W[i] is the weight of the arc stored at Adj[i]; both directions of an
+	// undirected edge carry the same weight.
+	W []uint32
+}
+
+// WeightedEdge is one undirected input edge.
+type WeightedEdge struct {
+	U, V Node
+	W    uint32
+}
+
+// NumNodes returns |V|.
+func (g *WGraph) NumNodes() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns |E|.
+func (g *WGraph) NumEdges() int { return len(g.Adj) / 2 }
+
+// Degree returns the number of neighbours of v.
+func (g *WGraph) Degree(v Node) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
+
+// Neighbors returns v's neighbour list and the parallel weight slice.
+func (g *WGraph) Neighbors(v Node) ([]Node, []uint32) {
+	lo, hi := g.Offsets[v], g.Offsets[v+1]
+	return g.Adj[lo:hi], g.W[lo:hi]
+}
+
+// FromWeightedEdges builds a weighted CSR graph. Self loops are dropped;
+// duplicate edges keep the minimum weight; zero weights are rejected
+// (Dijkstra requires positive weights, and zero-weight edges would make
+// "shortest path" degenerate).
+func FromWeightedEdges(n int, edges []WeightedEdge) (*WGraph, error) {
+	canon := make([]WeightedEdge, 0, len(edges))
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
+		}
+		if e.W == 0 {
+			return nil, fmt.Errorf("graph: zero-weight edge (%d,%d)", e.U, e.V)
+		}
+		if e.U == e.V {
+			continue
+		}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		canon = append(canon, e)
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].U != canon[j].U {
+			return canon[i].U < canon[j].U
+		}
+		if canon[i].V != canon[j].V {
+			return canon[i].V < canon[j].V
+		}
+		return canon[i].W < canon[j].W
+	})
+	dedup := canon[:0]
+	for _, e := range canon {
+		if len(dedup) > 0 && dedup[len(dedup)-1].U == e.U && dedup[len(dedup)-1].V == e.V {
+			continue // keep the minimum weight (sorted ascending)
+		}
+		dedup = append(dedup, e)
+	}
+
+	g := &WGraph{Offsets: make([]uint64, n+1)}
+	for _, e := range dedup {
+		g.Offsets[e.U+1]++
+		g.Offsets[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	g.Adj = make([]Node, g.Offsets[n])
+	g.W = make([]uint32, g.Offsets[n])
+	cur := make([]uint64, n)
+	copy(cur, g.Offsets[:n])
+	for _, e := range dedup {
+		g.Adj[cur[e.U]], g.W[cur[e.U]] = e.V, e.W
+		cur[e.U]++
+		g.Adj[cur[e.V]], g.W[cur[e.V]] = e.U, e.W
+		cur[e.V]++
+	}
+	// Sort each neighbour list (weights move with their endpoints).
+	for v := 0; v < n; v++ {
+		lo, hi := int(g.Offsets[v]), int(g.Offsets[v+1])
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		sort.Slice(idx, func(i, j int) bool { return g.Adj[idx[i]] < g.Adj[idx[j]] })
+		adj := make([]Node, hi-lo)
+		w := make([]uint32, hi-lo)
+		for i, src := range idx {
+			adj[i], w[i] = g.Adj[src], g.W[src]
+		}
+		copy(g.Adj[lo:hi], adj)
+		copy(g.W[lo:hi], w)
+	}
+	return g, nil
+}
+
+// Unweighted returns the underlying topology with weights forgotten.
+func (g *WGraph) Unweighted() *Graph {
+	return &Graph{Offsets: g.Offsets, Adj: g.Adj}
+}
+
+// Validate checks the weighted CSR invariants.
+func (g *WGraph) Validate() error {
+	if err := g.Unweighted().Validate(); err != nil {
+		return err
+	}
+	if len(g.W) != len(g.Adj) {
+		return fmt.Errorf("graph: weight array length mismatch")
+	}
+	for i, w := range g.W {
+		if w == 0 {
+			return fmt.Errorf("graph: zero weight at slot %d", i)
+		}
+	}
+	// Symmetry of weights.
+	for v := 0; v < g.NumNodes(); v++ {
+		adj, ws := g.Neighbors(Node(v))
+		for i, u := range adj {
+			if Node(v) < u {
+				uAdj, uWs := g.Neighbors(u)
+				found := false
+				for j, back := range uAdj {
+					if back == Node(v) {
+						if uWs[j] != ws[i] {
+							return fmt.Errorf("graph: asymmetric weight on {%d,%d}", v, u)
+						}
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("graph: missing reverse arc for {%d,%d}", v, u)
+				}
+			}
+		}
+	}
+	return nil
+}

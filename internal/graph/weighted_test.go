@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFromWeightedEdgesBasics(t *testing.T) {
+	g, err := FromWeightedEdges(3, []WeightedEdge{
+		{U: 0, V: 1, W: 5},
+		{U: 1, V: 0, W: 3}, // duplicate in reverse: min weight wins
+		{U: 1, V: 2, W: 7},
+		{U: 2, V: 2, W: 1}, // self loop dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	adj, ws := g.Neighbors(0)
+	if len(adj) != 1 || adj[0] != 1 || ws[0] != 3 {
+		t.Fatalf("Neighbors(0) = %v %v, want [1] [3]", adj, ws)
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("Degree(1) = %d", g.Degree(1))
+	}
+}
+
+func TestFromWeightedEdgesErrors(t *testing.T) {
+	if _, err := FromWeightedEdges(2, []WeightedEdge{{U: 0, V: 5, W: 1}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := FromWeightedEdges(2, []WeightedEdge{{U: 0, V: 1, W: 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestWeightedValidateRandom(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%80) + 2
+		m := int(mRaw % 300)
+		r := rng.NewRand(seed)
+		edges := make([]WeightedEdge, m)
+		for i := range edges {
+			edges[i] = WeightedEdge{
+				U: Node(r.Intn(n)), V: Node(r.Intn(n)), W: uint32(r.Intn(100)) + 1,
+			}
+		}
+		g, err := FromWeightedEdges(n, edges)
+		return err == nil && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnweightedView(t *testing.T) {
+	g, err := FromWeightedEdges(4, []WeightedEdge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 9}, {U: 2, V: 3, W: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Unweighted()
+	if u.NumEdges() != 3 || !u.HasEdge(1, 2) {
+		t.Fatal("unweighted view wrong")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package kadabra implements the KADABRA adaptive-sampling algorithm for
+// betweenness approximation (Borassi & Natale, ESA 2016), the sampling
+// algorithm underlying the paper's parallelizations.
+//
+// The algorithm proceeds in the three phases of paper §III-A:
+//
+//  1. Diameter computation, yielding the maximal sample count omega.
+//  2. Calibration: a fixed number of non-adaptive samples from which the
+//     per-vertex failure budgets deltaL(v), deltaU(v) are derived.
+//  3. Adaptive sampling until the stopping condition holds for all vertices
+//     (or tau reaches omega).
+//
+// The guarantee is the one stated in the paper's introduction: with
+// probability at least 1-delta, |btilde(x) - b(x)| <= eps simultaneously for
+// all vertices x.
+//
+// This file contains the statistical machinery: omega, the Chernoff-style
+// error bound functions f and g of §III-A, and the deltaL/deltaU
+// calibration. The exact calibration heuristic only influences running time,
+// never correctness (paper footnote 2); ours equalizes the predicted
+// per-vertex finishing times subject to sum(deltaL+deltaU) <= delta/2, the
+// same structure as the original implementation.
+package kadabra
+
+import (
+	"math"
+)
+
+// universalC is the constant c in the omega formula. Borassi & Natale show
+// experimentally that 0.5 is valid (the theoretical constant is larger).
+const universalC = 0.5
+
+// Omega returns the statically computed maximal number of samples
+//
+//	omega = c/eps^2 * (floor(log2(VD-2)) + 1 + ln(2/delta))
+//
+// where VD is the vertex diameter (paper §III-A). Sampling can always stop
+// at omega samples: by the Riondato–Kornaropoulos VC bound, omega samples
+// suffice for an eps-approximation with probability 1-delta/2.
+func Omega(vertexDiameter int, eps, delta float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		panic("kadabra: eps must be in (0,1)")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("kadabra: delta must be in (0,1)")
+	}
+	logDiam := 0.0
+	if vertexDiameter > 3 {
+		logDiam = math.Floor(math.Log2(float64(vertexDiameter - 2)))
+	}
+	return universalC / (eps * eps) * (logDiam + 1 + math.Log(2/delta))
+}
+
+// FBound is the upper error bound function f(btilde, deltaL, omega, tau) of
+// §III-A: with probability at least 1-deltaL, b(x) >= btilde(x) - f. It is
+// the empirical-Bernstein-style bound of the KADABRA paper; the returned
+// value is clamped to btilde (the error can never exceed the estimate
+// itself, since b >= 0).
+func FBound(btilde float64, deltaL, omega float64, tau int64) float64 {
+	if tau <= 0 {
+		return btilde
+	}
+	ft := float64(tau)
+	logD := math.Log(1 / deltaL)
+	tmp := omega/ft - 1.0/3
+	errChern := logD / ft * (-tmp + math.Sqrt(tmp*tmp+2*btilde*omega/logD))
+	return math.Min(errChern, btilde)
+}
+
+// GBound is the lower error bound function g(btilde, deltaU, omega, tau):
+// with probability at least 1-deltaU, b(x) <= btilde(x) + g. Clamped to
+// 1 - btilde.
+func GBound(btilde float64, deltaU, omega float64, tau int64) float64 {
+	if tau <= 0 {
+		return 1 - btilde
+	}
+	ft := float64(tau)
+	logD := math.Log(1 / deltaU)
+	tmp := omega/ft + 1.0/3
+	errChern := logD / ft * (tmp + math.Sqrt(tmp*tmp+2*btilde*omega/logD))
+	return math.Min(errChern, 1-btilde)
+}
+
+// Calibration holds the per-vertex failure budgets computed in phase 2.
+// DeltaL[v] + DeltaU[v] summed over v is at most delta/2; the other delta/2
+// is consumed by the omega fallback bound.
+type Calibration struct {
+	DeltaL, DeltaU []float64
+	// Omega is carried along for convenience.
+	Omega float64
+	Eps   float64
+}
+
+// balancingFactor is the fraction of the adaptive budget spread uniformly
+// over all vertices so that no vertex gets a vanishing budget (mirrors the
+// original implementation's balancing).
+const balancingFactor = 0.1
+
+// Calibrate computes per-vertex failure budgets from the counts of the
+// initial non-adaptive samples (counts[v] = number of calibration paths
+// through v, tau0 = number of calibration samples).
+//
+// Heuristic: solving f(btilde, deltav, omega, tau) ~= eps for tau gives a
+// finishing time proportional to log(1/deltav) * (2*btilde + 2*eps/3)/eps^2.
+// Equalizing finishing times across vertices means log(1/deltav)
+// proportional to 1/(2*btilde(v) + 2*eps/3); we binary-search the
+// proportionality constant kappa so that the total budget
+// sum_v 2*exp(-kappa/(2*btilde(v)+2*eps/3)) equals (1-balancing)*delta/2,
+// then spread the remaining balancing*delta/2 uniformly. High-betweenness
+// vertices (the stopping bottleneck) thereby receive the largest budgets.
+func Calibrate(counts []int64, tau0 int64, omega, eps, delta float64) *Calibration {
+	n := len(counts)
+	cal := &Calibration{
+		DeltaL: make([]float64, n),
+		DeltaU: make([]float64, n),
+		Omega:  omega,
+		Eps:    eps,
+	}
+	budget := delta / 2 * (1 - balancingFactor)
+	uniform := delta / 2 * balancingFactor / (2 * float64(n))
+
+	// weight(v) = 2*btilde(v) + 2eps/3, the denominator of the exponent.
+	weights := make([]float64, n)
+	maxW := 0.0
+	for v, c := range counts {
+		bt := 0.0
+		if tau0 > 0 {
+			bt = float64(c) / float64(tau0)
+		}
+		weights[v] = 2*bt + 2*eps/3
+		if weights[v] > maxW {
+			maxW = weights[v]
+		}
+	}
+
+	sumFor := func(kappa float64) float64 {
+		s := 0.0
+		for _, w := range weights {
+			s += 2 * math.Exp(-kappa/w)
+		}
+		return s
+	}
+	// kappa=0 gives sum 2n >= budget (delta < 1 <= 2n); grow hi until the sum
+	// drops below budget, then bisect.
+	lo, hi := 0.0, maxW*math.Log(4*float64(n)/(delta/2))
+	for sumFor(hi) > budget {
+		hi *= 2
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if sumFor(mid) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	kappa := hi // guarantees sumFor(kappa) <= budget
+	for v := range cal.DeltaL {
+		d := math.Exp(-kappa/weights[v]) + uniform
+		cal.DeltaL[v] = d
+		cal.DeltaU[v] = d
+	}
+	return cal
+}
+
+// TotalBudget returns sum_v (DeltaL[v] + DeltaU[v]); the guarantee requires
+// it to be at most delta/2. Exposed for tests.
+func (cal *Calibration) TotalBudget() float64 {
+	s := 0.0
+	for i := range cal.DeltaL {
+		s += cal.DeltaL[i] + cal.DeltaU[i]
+	}
+	return s
+}
+
+// HaveToStop evaluates the stopping condition of §III-A on a consistent
+// aggregated sampling state: it returns true when
+// f(btilde(x), deltaL(x), omega, tau) < eps and
+// g(btilde(x), deltaU(x), omega, tau) < eps hold simultaneously for every
+// vertex x, or when tau has reached omega (the non-adaptive fallback).
+//
+// The functions f and g are not monotone in the state (paper §III-B), which
+// is why callers must never evaluate this on a state that is concurrently
+// mutated — the epoch framework and the MPI snapshotting exist precisely to
+// provide frozen states.
+func (cal *Calibration) HaveToStop(counts []int64, tau int64) bool {
+	if tau <= 0 {
+		return false
+	}
+	if float64(tau) >= cal.Omega {
+		return true
+	}
+	ft := float64(tau)
+	for v, c := range counts {
+		bt := float64(c) / ft
+		if FBound(bt, cal.DeltaL[v], cal.Omega, tau) >= cal.Eps {
+			return false
+		}
+		if GBound(bt, cal.DeltaU[v], cal.Omega, tau) >= cal.Eps {
+			return false
+		}
+	}
+	return true
+}

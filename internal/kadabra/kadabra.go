@@ -1,0 +1,166 @@
+package kadabra
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/diameter"
+	"repro/internal/graph"
+)
+
+// Config collects the parameters shared by every KADABRA variant in this
+// repository (sequential, shared-memory, and the MPI algorithms built on
+// top in internal/core).
+type Config struct {
+	// Eps is the absolute approximation error (paper: 0.001 for the main
+	// experiments; smaller values sharply increase running time).
+	Eps float64
+	// Delta is the failure probability (paper: 0.1).
+	Delta float64
+	// Seed makes runs reproducible; worker streams are split from it.
+	Seed uint64
+	// StartFactor controls the number of calibration samples:
+	// tau0 = omega/StartFactor (default 100, as in the original code).
+	StartFactor int
+	// CheckInterval is the number of samples between stopping-condition
+	// checks in the sequential algorithm (default 1000). Parallel variants
+	// use epochs instead (see EpochBase).
+	CheckInterval int
+	// EpochBase and EpochSkew set the epoch length for parallel variants:
+	// thread 0 takes n0 = EpochBase / W^EpochSkew samples per epoch, where W
+	// is the total number of sampling threads (P*T in the distributed
+	// setting). The paper (§IV-D) decreases the epoch length as workers are
+	// added because every worker keeps sampling during the epoch; defaults
+	// EpochBase=1000, EpochSkew=0.33.
+	EpochBase float64
+	EpochSkew float64
+	// VertexDiameter, when positive, skips the diameter phase and uses the
+	// given value (useful when the caller has computed it already, and for
+	// the virtual-cluster harness which charges the phase separately).
+	VertexDiameter int
+	// DiameterBFSCap bounds the number of BFS sweeps iFUB may spend
+	// (0 = exact). The paper uses a sequential diameter algorithm whose
+	// cost shows up in Fig. 2b; the cap trades tightness for speed.
+	DiameterBFSCap int
+}
+
+// withDefaults returns a copy with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Eps == 0 {
+		c.Eps = 0.01
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.1
+	}
+	if c.StartFactor == 0 {
+		c.StartFactor = 100
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = 1000
+	}
+	if c.EpochBase == 0 {
+		c.EpochBase = 1000
+	}
+	if c.EpochSkew == 0 {
+		c.EpochSkew = 0.33
+	}
+	return c
+}
+
+// EpochLength returns n0 for a run with totalWorkers sampling threads,
+// clamped below at 16 samples so epochs never degenerate.
+func (c Config) EpochLength(totalWorkers int) int {
+	cfg := c.withDefaults()
+	n0 := cfg.EpochBase / math.Pow(float64(totalWorkers), cfg.EpochSkew)
+	if n0 < 16 {
+		n0 = 16
+	}
+	return int(n0)
+}
+
+// Timings records wall-clock time per phase, the raw material of the
+// paper's Figure 2b breakdown.
+type Timings struct {
+	Diameter    time.Duration
+	Calibration time.Duration
+	Sampling    time.Duration // adaptive sampling phase, total
+	// Within the sampling phase (parallel variants only):
+	Transition time.Duration // waiting for epoch transitions (overlapped)
+	Barrier    time.Duration // non-blocking barrier waits (overlapped)
+	Reduce     time.Duration // blocking aggregation (not overlapped)
+	Check      time.Duration // stopping-condition evaluation
+}
+
+// Total returns the end-to-end duration.
+func (t Timings) Total() time.Duration {
+	return t.Diameter + t.Calibration + t.Sampling
+}
+
+// Result is the output of every KADABRA variant.
+type Result struct {
+	// Betweenness holds btilde(x) = ctilde(x)/tau for every vertex.
+	Betweenness []float64
+	// Tau is the number of samples in the final consistent state.
+	Tau int64
+	// Omega is the static maximal sample count.
+	Omega float64
+	// VertexDiameter is the value used for omega.
+	VertexDiameter int
+	// Epochs is the number of completed epochs (parallel variants; the
+	// sequential algorithm reports the number of stopping checks).
+	Epochs int
+	// Timings is the per-phase wall-clock breakdown.
+	Timings Timings
+}
+
+// TopK returns the k vertices with the highest approximate betweenness, in
+// descending order. With eps chosen below the k-th betweenness value gap,
+// these are reliable with probability 1-delta (the use case motivating the
+// paper's push to eps = 0.001).
+func (r *Result) TopK(k int) []graph.Node {
+	idx := make([]graph.Node, len(r.Betweenness))
+	for i := range idx {
+		idx[i] = graph.Node(i)
+	}
+	sortByScoreDesc(idx, r.Betweenness)
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+func sortByScoreDesc(idx []graph.Node, scores []float64) {
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if scores[a] != scores[b] {
+			return scores[a] > scores[b]
+		}
+		return a < b
+	})
+}
+
+// resolveVertexDiameter runs phase 1 (or uses the precomputed override).
+func resolveVertexDiameter(g *graph.Graph, cfg Config) (int, time.Duration) {
+	if cfg.VertexDiameter > 0 {
+		return cfg.VertexDiameter, 0
+	}
+	start := time.Now()
+	var vd int
+	if cfg.DiameterBFSCap > 0 {
+		d, _ := diameter.IFUB(g, cfg.DiameterBFSCap)
+		vd = int(d) + 1
+	} else {
+		vd = diameter.VertexDiameter(g)
+	}
+	return vd, time.Since(start)
+}
+
+// validate rejects graphs the estimator cannot work with.
+func validate(g *graph.Graph) error {
+	if g.NumNodes() < 2 {
+		return fmt.Errorf("kadabra: need at least 2 vertices, got %d", g.NumNodes())
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package kadabra
+
+import (
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Sequential runs the plain (single-threaded) KADABRA algorithm. It is the
+// reference implementation: the parallel variants must produce statistically
+// identical results, and the tests validate the (eps, delta) guarantee
+// against Brandes on this version.
+func Sequential(g *graph.Graph, cfg Config) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := g.NumNodes()
+
+	// Phase 1: diameter -> omega.
+	vd, diamTime := resolveVertexDiameter(g, cfg)
+	omega := Omega(vd, cfg.Eps, cfg.Delta)
+
+	r := rng.NewRand(cfg.Seed)
+	sampler := bfs.NewSampler(g, r)
+	counts := make([]int64, n)
+	var tau int64
+
+	takeSample := func() {
+		internal, ok := sampler.Sample()
+		tau++
+		if ok {
+			for _, v := range internal {
+				counts[v]++
+			}
+		}
+	}
+
+	// Phase 2: calibration with tau0 = omega/StartFactor non-adaptive
+	// samples. The samples are kept in the running state, as in the
+	// original algorithm.
+	calStart := time.Now()
+	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
+	for tau < tau0 {
+		takeSample()
+	}
+	cal := Calibrate(counts, tau, omega, cfg.Eps, cfg.Delta)
+	calTime := time.Since(calStart)
+
+	// Phase 3: adaptive sampling.
+	samplingStart := time.Now()
+	checks := 0
+	var checkTime time.Duration
+	for {
+		cs := time.Now()
+		stop := cal.HaveToStop(counts, tau)
+		checkTime += time.Since(cs)
+		checks++
+		if stop {
+			break
+		}
+		for i := 0; i < cfg.CheckInterval && float64(tau) < omega; i++ {
+			takeSample()
+		}
+	}
+	samplingTime := time.Since(samplingStart)
+
+	bt := make([]float64, n)
+	for v, c := range counts {
+		bt[v] = float64(c) / float64(tau)
+	}
+	return &Result{
+		Betweenness:    bt,
+		Tau:            tau,
+		Omega:          omega,
+		VertexDiameter: vd,
+		Epochs:         checks,
+		Timings: Timings{
+			Diameter:    diamTime,
+			Calibration: calTime,
+			Sampling:    samplingTime,
+			Check:       checkTime,
+		},
+	}, nil
+}

@@ -1,0 +1,270 @@
+package kadabra
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/epoch"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// SharedMemory runs the epoch-based shared-memory parallelization of
+// KADABRA — the state-of-the-art competitor of the paper (its Ref. 24),
+// which the MPI algorithm is benchmarked against in Figures 2 and 3.
+//
+// Thread 0 is the coordinator: it samples, initiates epoch transitions,
+// aggregates the frozen epoch frames and checks the stopping condition,
+// overlapping all coordination with further sampling (paper Alg. 2 with the
+// MPI calls removed). Threads 1..T-1 only sample and poll CheckTransition —
+// they are wait-free.
+func SharedMemory(g *graph.Graph, threads int, cfg Config) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumNodes()
+
+	// Phase 1: diameter.
+	vd, diamTime := resolveVertexDiameter(g, cfg)
+	omega := Omega(vd, cfg.Eps, cfg.Delta)
+
+	// Per-thread samplers with split RNG streams.
+	master := rng.NewRand(cfg.Seed)
+	samplers := make([]*bfs.Sampler, threads)
+	for i := range samplers {
+		samplers[i] = bfs.NewSampler(g, master.Split())
+	}
+
+	// Phase 2: calibration — pleasingly parallel fixed-size sampling
+	// followed by a blocking aggregation (paper §IV-F).
+	calStart := time.Now()
+	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
+	calCounts := make([]int64, n)
+	var calTau int64
+	{
+		var wg sync.WaitGroup
+		partial := make([][]int64, threads)
+		taus := make([]int64, threads)
+		per := int(tau0)/threads + 1
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				local := make([]int64, n)
+				for i := 0; i < per; i++ {
+					internal, ok := samplers[t].Sample()
+					taus[t]++
+					if ok {
+						for _, v := range internal {
+							local[v]++
+						}
+					}
+				}
+				partial[t] = local
+			}(t)
+		}
+		wg.Wait()
+		for t := 0; t < threads; t++ {
+			calTau += taus[t]
+			for v, c := range partial[t] {
+				calCounts[v] += c
+			}
+		}
+	}
+	cal := Calibrate(calCounts, calTau, omega, cfg.Eps, cfg.Delta)
+	calTime := time.Since(calStart)
+
+	// Phase 3: epoch-based adaptive sampling.
+	samplingStart := time.Now()
+	fw := epoch.New(threads, n)
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for t := 1; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sf := fw.Frame(t)
+			for !done.Load() {
+				internal, ok := samplers[t].Sample()
+				sf.Tau++
+				if ok {
+					for _, v := range internal {
+						sf.C[v]++
+					}
+				}
+				if fw.CheckTransition(t) {
+					sf = fw.Frame(t)
+				}
+			}
+			for fw.CheckTransition(t) {
+			}
+		}(t)
+	}
+
+	// Aggregated state S starts from the calibration samples, which the
+	// algorithm keeps (paper §III-A phase 2 feeds phase 3).
+	S := epoch.NewStateFrame(n)
+	S.Tau = calTau
+	copy(S.C, calCounts)
+
+	n0 := cfg.EpochLength(threads)
+	var e uint64
+	var transTime, checkTime time.Duration
+	epochs := 0
+	sampleInto := func(sf *epoch.StateFrame) {
+		internal, ok := samplers[0].Sample()
+		sf.Tau++
+		if ok {
+			for _, v := range internal {
+				sf.C[v]++
+			}
+		}
+	}
+	for {
+		sf := fw.Frame(0)
+		for i := 0; i < n0; i++ {
+			sampleInto(sf)
+		}
+		ts := time.Now()
+		fw.ForceTransition()
+		next := fw.Frame(0)
+		for !fw.TransitionDone(e + 1) {
+			sampleInto(next)
+		}
+		transTime += time.Since(ts)
+		fw.AggregateEpoch(e, S)
+		epochs++
+		cs := time.Now()
+		stop := cal.HaveToStop(S.C, S.Tau)
+		checkTime += time.Since(cs)
+		e++
+		if stop {
+			done.Store(true)
+			break
+		}
+	}
+	wg.Wait()
+	samplingTime := time.Since(samplingStart)
+
+	bt := make([]float64, n)
+	for v, c := range S.C {
+		bt[v] = float64(c) / float64(S.Tau)
+	}
+	return &Result{
+		Betweenness:    bt,
+		Tau:            S.Tau,
+		Omega:          omega,
+		VertexDiameter: vd,
+		Epochs:         epochs,
+		Timings: Timings{
+			Diameter:    diamTime,
+			Calibration: calTime,
+			Sampling:    samplingTime,
+			Transition:  transTime,
+			Check:       checkTime,
+		},
+	}, nil
+}
+
+// SimpleParallel is the strawman parallelization the paper's §III-B warns
+// about: all threads take a fixed batch of samples, then a blocking barrier
+// synchronizes everyone, the batches are merged and the stopping condition
+// is checked — with no overlap of sampling and aggregation. It exists as
+// the ablation baseline (experiment A3 in DESIGN.md) demonstrating why the
+// epoch framework is needed.
+func SimpleParallel(g *graph.Graph, threads int, cfg Config) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumNodes()
+	vd, diamTime := resolveVertexDiameter(g, cfg)
+	omega := Omega(vd, cfg.Eps, cfg.Delta)
+
+	master := rng.NewRand(cfg.Seed)
+	samplers := make([]*bfs.Sampler, threads)
+	for i := range samplers {
+		samplers[i] = bfs.NewSampler(g, master.Split())
+	}
+
+	calStart := time.Now()
+	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
+	counts := make([]int64, n)
+	var tau int64
+	batch := func(per int) {
+		var wg sync.WaitGroup
+		partial := make([][]int64, threads)
+		taus := make([]int64, threads)
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				local := make([]int64, n)
+				for i := 0; i < per; i++ {
+					internal, ok := samplers[t].Sample()
+					taus[t]++
+					if ok {
+						for _, v := range internal {
+							local[v]++
+						}
+					}
+				}
+				partial[t] = local
+			}(t)
+		}
+		wg.Wait() // the blocking barrier: nothing overlaps
+		for t := 0; t < threads; t++ {
+			tau += taus[t]
+			for v, c := range partial[t] {
+				counts[v] += c
+			}
+		}
+	}
+	batch(int(tau0)/threads + 1)
+	cal := Calibrate(counts, tau, omega, cfg.Eps, cfg.Delta)
+	calTime := time.Since(calStart)
+
+	samplingStart := time.Now()
+	n0 := cfg.EpochLength(threads)
+	epochs := 0
+	var checkTime time.Duration
+	for {
+		cs := time.Now()
+		stop := cal.HaveToStop(counts, tau)
+		checkTime += time.Since(cs)
+		if stop {
+			break
+		}
+		batch(n0)
+		epochs++
+	}
+	samplingTime := time.Since(samplingStart)
+
+	bt := make([]float64, n)
+	for v, c := range counts {
+		bt[v] = float64(c) / float64(tau)
+	}
+	return &Result{
+		Betweenness:    bt,
+		Tau:            tau,
+		Omega:          omega,
+		VertexDiameter: vd,
+		Epochs:         epochs,
+		Timings: Timings{
+			Diameter:    diamTime,
+			Calibration: calTime,
+			Sampling:    samplingTime,
+			Check:       checkTime,
+		},
+	}, nil
+}

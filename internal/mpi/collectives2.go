@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Additional collectives beyond the paper's minimum set. They round out the
+// runtime to the point where other distributed algorithms (and the tools in
+// cmd/) can be built on it without touching point-to-point primitives.
+
+// Allgather collects every process's buffer on every process, indexed by
+// rank. Implemented as Gather to rank 0 followed by a broadcast of the
+// concatenation (buffers may have different lengths, so the broadcast
+// carries a length prefix per rank).
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.rank == 0 {
+		total := 8 * c.Size()
+		for _, p := range parts {
+			total += len(p)
+		}
+		packed = make([]byte, 0, total)
+		var hdr [8]byte
+		for _, p := range parts {
+			binary.LittleEndian.PutUint64(hdr[:], uint64(len(p)))
+			packed = append(packed, hdr[:]...)
+			packed = append(packed, p...)
+		}
+	}
+	packed, err = c.Bcast(0, packed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.Size())
+	off := 0
+	for r := 0; r < c.Size(); r++ {
+		if off+8 > len(packed) {
+			return nil, fmt.Errorf("mpi: corrupt allgather payload")
+		}
+		n := int(binary.LittleEndian.Uint64(packed[off:]))
+		off += 8
+		if off+n > len(packed) {
+			return nil, fmt.Errorf("mpi: corrupt allgather payload")
+		}
+		out[r] = packed[off : off+n : off+n]
+		off += n
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[r] from root to rank r and returns this rank's
+// slice. Non-root callers pass nil.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	seq := c.nextCollSeq()
+	tag := collTag(seq, 3)
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", c.Size(), len(parts))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.sendRaw(r, tag, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		buf := make([]byte, len(parts[root]))
+		copy(buf, parts[root])
+		return buf, nil
+	}
+	return c.recvRaw(root, tag)
+}
+
+// IAllreduce is the non-blocking all-reduction: every rank obtains the
+// combined vector once the request completes.
+func (c *Comm) IAllreduce(data []byte, op Op) *Request {
+	acc := make([]byte, len(data))
+	copy(acc, data)
+	seqR := c.nextCollSeq()
+	seqB := c.nextCollSeq()
+	req := newRequest()
+	go func() {
+		res, err := c.reduceWithSeq(0, acc, op, seqR)
+		if err != nil {
+			req.complete(nil, err)
+			return
+		}
+		res, err = c.bcastWithSeq(0, res, seqB)
+		req.complete(res, err)
+	}()
+	return req
+}
+
+// ExchangeInt64 is a convenience Allgather for a single int64 per rank,
+// used for distributing small scalars (sizes, seeds, flags).
+func (c *Comm) ExchangeInt64(v int64) ([]int64, error) {
+	parts, err := c.Allgather(EncodeInt64s(nil, []int64{v}))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(parts))
+	for r, p := range parts {
+		one := make([]int64, 1)
+		DecodeInt64s(one, p)
+		out[r] = one[0]
+	}
+	return out, nil
+}

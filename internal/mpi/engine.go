@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"sync"
+)
+
+// engine is the per-process message-matching engine. Incoming envelopes are
+// matched against posted receives by (ctx, src, tag); unmatched messages are
+// buffered ("unexpected queue" in MPI terminology), unmatched receives wait
+// on a Request. Messages between one (ctx, src, tag) triple are delivered in
+// send order, as MPI guarantees.
+type engine struct {
+	worldRank int
+	tr        transport
+
+	mu         sync.Mutex
+	unexpected map[matchKey][][]byte
+	pending    map[matchKey][]*Request
+	closed     bool
+	err        error
+}
+
+type matchKey struct {
+	ctx uint64
+	src int32
+	tag int32
+}
+
+func newEngine(worldRank int) *engine {
+	return &engine{
+		worldRank:  worldRank,
+		unexpected: make(map[matchKey][][]byte),
+		pending:    make(map[matchKey][]*Request),
+	}
+}
+
+// deliver is called by the transport when an envelope arrives.
+func (e *engine) deliver(env envelope) {
+	key := matchKey{env.ctx, env.src, env.tag}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if reqs := e.pending[key]; len(reqs) > 0 {
+		req := reqs[0]
+		if len(reqs) == 1 {
+			delete(e.pending, key)
+		} else {
+			e.pending[key] = reqs[1:]
+		}
+		e.mu.Unlock()
+		req.complete(env.data, nil)
+		return
+	}
+	e.unexpected[key] = append(e.unexpected[key], env.data)
+	e.mu.Unlock()
+}
+
+// post registers a receive for (ctx, src, tag), matching a buffered message
+// if one is already present.
+func (e *engine) post(key matchKey, req *Request) {
+	e.mu.Lock()
+	if e.closed {
+		err := e.err
+		e.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		req.complete(nil, err)
+		return
+	}
+	if msgs := e.unexpected[key]; len(msgs) > 0 {
+		data := msgs[0]
+		if len(msgs) == 1 {
+			delete(e.unexpected, key)
+		} else {
+			e.unexpected[key] = msgs[1:]
+		}
+		e.mu.Unlock()
+		req.complete(data, nil)
+		return
+	}
+	e.pending[key] = append(e.pending[key], req)
+	e.mu.Unlock()
+}
+
+// fail poisons the engine: all pending and future receives error out.
+// Called when a transport connection breaks.
+func (e *engine) fail(err error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.err = err
+	pending := e.pending
+	e.pending = make(map[matchKey][]*Request)
+	e.mu.Unlock()
+	for _, reqs := range pending {
+		for _, r := range reqs {
+			r.complete(nil, err)
+		}
+	}
+}
+
+// Request represents an in-flight non-blocking operation. It is completed
+// exactly once; Wait blocks for completion, Test polls without blocking.
+type Request struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+func newRequest() *Request {
+	return &Request{done: make(chan struct{})}
+}
+
+func (r *Request) complete(data []byte, err error) {
+	r.data = data
+	r.err = err
+	close(r.done)
+}
+
+// Test reports whether the operation has completed, without blocking. This
+// is what lets the sampling loop interleave work with communication
+// ("while IREDUCE is not done do sample", paper Alg. 1/2).
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the operation completes and returns its payload (for
+// receives and data-bearing collectives) and error.
+func (r *Request) Wait() ([]byte, error) {
+	<-r.done
+	return r.data, r.err
+}
+
+// Done exposes the completion channel for select-based callers.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// completedRequest returns an already-completed request, used by collectives
+// on single-member communicators.
+func completedRequest(data []byte, err error) *Request {
+	r := newRequest()
+	r.complete(data, err)
+	return r
+}

@@ -1,0 +1,82 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// localTransport connects P in-process "processes" (goroutine groups). Sends
+// deliver eagerly into the destination engine — a function call protected by
+// the engine's own lock — so the transport is unbounded and collective
+// algorithms can never deadlock on flow control. This mirrors MPI's
+// shared-memory device, where local messages bypass the NIC.
+type localTransport struct {
+	engines []*engine
+}
+
+func (lt *localTransport) send(dst int, env envelope) error {
+	if dst < 0 || dst >= len(lt.engines) {
+		return fmt.Errorf("mpi: world rank %d out of range", dst)
+	}
+	lt.engines[dst].deliver(env)
+	return nil
+}
+
+func (lt *localTransport) close() error { return nil }
+
+// World holds the per-process entry points of an in-process run.
+type World struct {
+	comms []*Comm
+}
+
+// NewLocalWorld creates a world of p in-process ranks and returns the world
+// communicator of each. Rank i's communicator must only be driven by rank
+// i's goroutine(s).
+func NewLocalWorld(p int) *World {
+	if p < 1 {
+		panic("mpi: world size must be positive")
+	}
+	lt := &localTransport{engines: make([]*engine, p)}
+	w := &World{comms: make([]*Comm, p)}
+	glob := make([]int, p)
+	for i := range glob {
+		glob[i] = i
+	}
+	for i := 0; i < p; i++ {
+		eng := newEngine(i)
+		eng.tr = lt
+		lt.engines[i] = eng
+		w.comms[i] = &Comm{eng: eng, ctx: 0, rank: i, glob: glob}
+	}
+	return w
+}
+
+// Comm returns the world communicator of rank i.
+func (w *World) Comm(i int) *Comm { return w.comms[i] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.comms) }
+
+// RunLocal runs fn concurrently as p ranks over an in-process world and
+// waits for all of them. The first non-nil error is returned (all ranks
+// always run to completion, as aborting mid-collective would deadlock
+// peers).
+func RunLocal(p int, fn func(c *Comm) error) error {
+	w := NewLocalWorld(p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(w.Comm(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mpi: rank %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpTransport connects ranks across OS processes (or hosts) with a full
+// mesh of TCP connections, one per unordered rank pair. Frames are
+// length-prefixed: {ctx u64, src i32, tag i32, len u32, payload}. A
+// per-connection write lock serializes concurrent senders; a reader
+// goroutine per connection feeds the local matching engine.
+type tcpTransport struct {
+	self  int
+	conns []*tcpConn // indexed by peer world rank; conns[self] == nil
+	eng   *engine
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type tcpConn struct {
+	c  net.Conn
+	wm sync.Mutex // write mutex
+	// goodbye is set when the peer announced a graceful shutdown, so the
+	// subsequent EOF must not poison the engine. Only the connection's
+	// readLoop goroutine touches it.
+	goodbye bool
+}
+
+const tcpFrameHeader = 8 + 4 + 4 + 4
+
+// goodbyeTag is a reserved control tag announcing graceful finalization.
+// A connection that EOFs without it is treated as a failure, which poisons
+// the whole engine — the fail-stop model of MPI's default error handler.
+const goodbyeTag = int32(-1)
+
+// goodbyeTagWire is goodbyeTag's two's-complement wire representation.
+const goodbyeTagWire = ^uint32(0)
+
+func (tt *tcpTransport) send(dst int, env envelope) error {
+	if dst == tt.self {
+		tt.eng.deliver(env)
+		return nil
+	}
+	if dst < 0 || dst >= len(tt.conns) || tt.conns[dst] == nil {
+		return fmt.Errorf("mpi: no connection to rank %d", dst)
+	}
+	conn := tt.conns[dst]
+	hdr := make([]byte, tcpFrameHeader)
+	binary.LittleEndian.PutUint64(hdr[0:], env.ctx)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(env.src))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(env.tag))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(env.data)))
+	conn.wm.Lock()
+	defer conn.wm.Unlock()
+	if _, err := conn.c.Write(hdr); err != nil {
+		return fmt.Errorf("mpi: tcp send to %d: %w", dst, err)
+	}
+	if len(env.data) > 0 {
+		if _, err := conn.c.Write(env.data); err != nil {
+			return fmt.Errorf("mpi: tcp send to %d: %w", dst, err)
+		}
+	}
+	return nil
+}
+
+func (tt *tcpTransport) close() error {
+	tt.mu.Lock()
+	if tt.closed {
+		tt.mu.Unlock()
+		return nil
+	}
+	tt.closed = true
+	tt.mu.Unlock()
+	// Announce graceful shutdown to every peer, then close. Errors are
+	// ignored: the peer may already be gone.
+	hdr := make([]byte, tcpFrameHeader)
+	binary.LittleEndian.PutUint32(hdr[12:], goodbyeTagWire)
+	for _, c := range tt.conns {
+		if c == nil {
+			continue
+		}
+		c.wm.Lock()
+		c.c.Write(hdr)
+		c.wm.Unlock()
+		c.c.Close()
+	}
+	return nil
+}
+
+// readLoop pumps frames from one peer into the engine until the connection
+// dies. A connection lost without a goodbye frame poisons the engine
+// (fail-stop); a goodbye-then-EOF is a clean peer shutdown.
+func (tt *tcpTransport) readLoop(peer int, tc *tcpConn) {
+	conn := tc.c
+	hdr := make([]byte, tcpFrameHeader)
+	die := func(err error) {
+		tt.mu.Lock()
+		closed := tt.closed
+		tt.mu.Unlock()
+		if !closed && !tc.goodbye {
+			tt.eng.fail(fmt.Errorf("mpi: connection to rank %d lost: %w", peer, err))
+		}
+	}
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			die(err)
+			return
+		}
+		env := envelope{
+			ctx: binary.LittleEndian.Uint64(hdr[0:]),
+			src: int32(binary.LittleEndian.Uint32(hdr[8:])),
+			tag: int32(binary.LittleEndian.Uint32(hdr[12:])),
+		}
+		if env.tag == goodbyeTag {
+			tc.goodbye = true
+			continue
+		}
+		n := binary.LittleEndian.Uint32(hdr[16:])
+		if n > 0 {
+			env.data = make([]byte, n)
+			if _, err := io.ReadFull(conn, env.data); err != nil {
+				die(err)
+				return
+			}
+		}
+		tt.eng.deliver(env)
+	}
+}
+
+// ConnectTCP joins a TCP world. addrs lists the listen address of every
+// rank, in rank order; rank is this process's position. The function
+// listens on addrs[rank], dials every lower rank, accepts connections from
+// every higher rank, and returns the world communicator once the mesh is
+// complete. Close the returned closer to tear the world down.
+//
+// The handshake is a single uint32 carrying the dialer's rank. Dial
+// attempts retry until timeout elapses, so ranks may start in any order.
+func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*Comm, io.Closer, error) {
+	p := len(addrs)
+	if rank < 0 || rank >= p {
+		return nil, nil, fmt.Errorf("mpi: rank %d out of range for %d addrs", rank, p)
+	}
+	eng := newEngine(rank)
+	tt := &tcpTransport{self: rank, conns: make([]*tcpConn, p), eng: eng}
+	eng.tr = tt
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpi: listen %s: %w", addrs[rank], err)
+	}
+	defer ln.Close()
+
+	deadline := time.Now().Add(timeout)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(e error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+	}
+
+	// Dial lower ranks.
+	for peer := 0; peer < rank; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			var conn net.Conn
+			var derr error
+			for {
+				conn, derr = net.DialTimeout("tcp", addrs[peer], time.Second)
+				if derr == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					setErr(fmt.Errorf("mpi: dial rank %d (%s): %w", peer, addrs[peer], derr))
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+			if _, werr := conn.Write(hello[:]); werr != nil {
+				setErr(werr)
+				conn.Close()
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			mu.Lock()
+			tt.conns[peer] = &tcpConn{c: conn}
+			mu.Unlock()
+		}(peer)
+	}
+
+	// Accept higher ranks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for accepted := 0; accepted < p-1-rank; accepted++ {
+			if dl, ok := ln.(*net.TCPListener); ok {
+				dl.SetDeadline(deadline)
+			}
+			conn, aerr := ln.Accept()
+			if aerr != nil {
+				setErr(fmt.Errorf("mpi: accept: %w", aerr))
+				return
+			}
+			var hello [4]byte
+			if _, rerr := io.ReadFull(conn, hello[:]); rerr != nil {
+				setErr(rerr)
+				conn.Close()
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer <= rank || peer >= p {
+				setErr(fmt.Errorf("mpi: unexpected hello from rank %d", peer))
+				conn.Close()
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			mu.Lock()
+			tt.conns[peer] = &tcpConn{c: conn}
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	if firstErr != nil {
+		tt.close()
+		return nil, nil, firstErr
+	}
+	for peer, c := range tt.conns {
+		if peer != rank && c != nil {
+			go tt.readLoop(peer, c)
+		}
+	}
+	glob := make([]int, p)
+	for i := range glob {
+		glob[i] = i
+	}
+	comm := &Comm{eng: eng, ctx: 0, rank: rank, glob: glob}
+	return comm, closerFunc(tt.close), nil
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }

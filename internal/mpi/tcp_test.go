@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddrs reserves n distinct loopback ports and returns them as
+// host:port strings. The listeners are closed before returning, so a rare
+// race with other processes is possible but harmless in CI-scale tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// runTCP runs fn as p ranks connected over loopback TCP, all within this
+// test process (each rank gets its own transport and engine, so the full
+// wire path is exercised).
+func runTCP(t *testing.T, p int, fn func(c *Comm) error) {
+	t.Helper()
+	addrs := freeAddrs(t, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, closer, err := ConnectTCP(r, addrs, 10*time.Second)
+			if err != nil {
+				errs[r] = fmt.Errorf("connect: %w", err)
+				return
+			}
+			errs[r] = fn(comm)
+			// Synchronize before teardown so no rank closes while another
+			// still expects traffic.
+			if errs[r] == nil {
+				errs[r] = comm.Barrier()
+			}
+			closer.Close()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runTCP(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 4, []byte("over the wire"))
+		}
+		data, err := c.Recv(0, 4)
+		if err != nil {
+			return err
+		}
+		if string(data) != "over the wire" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	const size = 4 << 20 // 4 MiB, forces multiple TCP segments
+	runTCP(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]byte, size)
+			for i := range buf {
+				buf[i] = byte(i * 7)
+			}
+			return c.Send(1, 0, buf)
+		}
+		data, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if len(data) != size {
+			return fmt.Errorf("got %d bytes", len(data))
+		}
+		for i := 0; i < size; i += 4097 {
+			if data[i] != byte(i*7) {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	runTCP(t, 4, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		buf := EncodeInt64s(nil, []int64{int64(c.Rank() + 1)})
+		res, err := c.Allreduce(buf, SumInt64)
+		if err != nil {
+			return err
+		}
+		got := make([]int64, 1)
+		DecodeInt64s(got, res)
+		if got[0] != 10 {
+			return fmt.Errorf("allreduce got %d", got[0])
+		}
+		out, err := c.Bcast(2, []byte{byte(42 + c.Rank())})
+		if err != nil {
+			return err
+		}
+		if out[0] != 44 {
+			return fmt.Errorf("bcast got %d", out[0])
+		}
+		return nil
+	})
+}
+
+func TestTCPSplitAndHierarchy(t *testing.T) {
+	runTCP(t, 4, func(c *Comm) error {
+		local, err := c.Split(c.Rank()/2, c.Rank())
+		if err != nil {
+			return err
+		}
+		buf := EncodeInt64s(nil, []int64{1})
+		res, err := local.Allreduce(buf, SumInt64)
+		if err != nil {
+			return err
+		}
+		got := make([]int64, 1)
+		DecodeInt64s(got, res)
+		if got[0] != 2 {
+			return fmt.Errorf("local allreduce got %d", got[0])
+		}
+		return nil
+	})
+}
+
+func TestTCPIReduceOverlap(t *testing.T) {
+	runTCP(t, 3, func(c *Comm) error {
+		for round := 0; round < 5; round++ {
+			buf := EncodeInt64s(nil, []int64{int64(c.Rank()), 1})
+			req := c.IReduce(0, buf, SumInt64)
+			spins := 0
+			for !req.Test() {
+				spins++
+			}
+			res, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got := make([]int64, 2)
+				DecodeInt64s(got, res)
+				if got[0] != 3 || got[1] != 3 {
+					return fmt.Errorf("round %d got %v", round, got)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPConnectBadRank(t *testing.T) {
+	if _, _, err := ConnectTCP(5, []string{"127.0.0.1:1", "127.0.0.1:2"}, time.Second); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestTCPConnectTimeout(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	// Only rank 1 connects; it must time out dialing the absent rank 0.
+	_, _, err := ConnectTCP(1, addrs, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+}

@@ -1,0 +1,166 @@
+// Package rng provides fast, reproducible pseudo-random number generators
+// for parallel sampling.
+//
+// The distributed betweenness algorithms take millions of samples across
+// many threads; each thread needs an independent, cheap, seedable stream.
+// We implement SplitMix64 (for seeding and stream splitting) and
+// xoshiro256++ (the workhorse generator), both from the public-domain
+// reference implementations by Blackman and Vigna.
+//
+// The package intentionally does not use math/rand: the generators here are
+// allocation-free, lock-free, and support deterministic splitting into
+// per-thread streams, which math/rand.Source does not offer.
+package rng
+
+import "math"
+
+// SplitMix64 is a tiny 64-bit generator used to seed other generators and to
+// derive independent streams from a single master seed. Its state is a single
+// uint64; every call advances the state by a fixed odd constant (a Weyl
+// sequence) and scrambles it.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256++ generator. It is not safe for concurrent use; create
+// one per goroutine via NewRand or Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator whose state is derived from seed via SplitMix64,
+// as recommended by the xoshiro authors (an all-zero state is invalid and the
+// seeding procedure guarantees we never produce one).
+func NewRand(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	var r Rand
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	return &r
+}
+
+// Split derives a new, statistically independent generator from r. It is used
+// to give each worker thread its own stream from a master generator.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 random bits.
+func (r *Rand) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift rejection method, which avoids the modulo
+// bias of the naive approach and the division of the classic one.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Lemire's method on the high 64 bits of a 128-bit product.
+	v := r.Uint64()
+	hi, lo := mul64(v, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1,
+// via inversion. Useful for synthetic timing models.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(1 - u)
+}
+
+// NormFloat64 returns a standard normally distributed float64 using the
+// Marsaglia polar method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm fills p with a uniform random permutation of [0, len(p)).
+func (r *Rand) Perm(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

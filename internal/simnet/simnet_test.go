@@ -1,0 +1,235 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/brandes"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kadabra"
+	"repro/internal/stats"
+)
+
+func testGraph() *graph.Graph {
+	g := gen.RMAT(gen.Graph500(9, 8, 21))
+	g, _ = graph.LargestComponent(g)
+	return g
+}
+
+// deterministicModel fixes the sample-cost model so simulations are exactly
+// reproducible.
+func deterministicModel(nodes int) Model {
+	m := DefaultModel(nodes)
+	m.FixedSampleCost = 20 * time.Microsecond
+	m.FixedSampleStd = 10 * time.Microsecond
+	return m
+}
+
+func TestSimulateAccuracy(t *testing.T) {
+	// The simulation runs the real algorithm, so the (eps, delta) guarantee
+	// must hold against Brandes just like for the real implementations.
+	g := testGraph()
+	eps := 0.03
+	res, err := Simulate(g, deterministicModel(4), kadabra.Config{Eps: eps, Delta: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := brandes.Exact(g)
+	rep := stats.CompareScores(exact, res.Betweenness, eps)
+	if rep.MaxAbs > eps {
+		t.Fatalf("max error %f exceeds eps %f", rep.MaxAbs, eps)
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	// The algorithmic trajectory and the model-derived times must be
+	// exactly reproducible. (Times.Diameter/Calibration include real host
+	// measurements of genuinely sequential phases and are excluded.)
+	g := testGraph()
+	cfg := kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 3}
+	a, err := Simulate(g, deterministicModel(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(g, deterministicModel(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tau != b.Tau || a.Epochs != b.Epochs {
+		t.Fatalf("trajectory not deterministic: tau %d/%d epochs %d/%d",
+			a.Tau, b.Tau, a.Epochs, b.Epochs)
+	}
+	if a.Times.Sampling != b.Times.Sampling || a.Times.Barrier != b.Times.Barrier ||
+		a.Times.Reduce != b.Times.Reduce {
+		t.Fatalf("model times not deterministic: %+v vs %+v", a.Times, b.Times)
+	}
+	for v := range a.Betweenness {
+		if a.Betweenness[v] != b.Betweenness[v] {
+			t.Fatal("scores not deterministic")
+		}
+	}
+}
+
+func TestADSTimeShrinksWithNodes(t *testing.T) {
+	// Fig. 2a/3a's core phenomenon: the adaptive sampling phase must scale
+	// close to linearly with the node count.
+	// Parameters chosen so even 16 virtual nodes need several epochs —
+	// otherwise epoch quantization (the paper's friendster runs in 2
+	// epochs!) masks the scaling.
+	g := testGraph()
+	cfg := kadabra.Config{Eps: 0.005, Delta: 0.1, Seed: 5, EpochBase: 250}
+	var prev time.Duration
+	for i, nodes := range []int{1, 2, 4, 8, 16} {
+		res, err := Simulate(g, deterministicModel(nodes), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			ratio := float64(prev) / float64(res.Times.Sampling)
+			if ratio < 1.3 {
+				t.Fatalf("nodes=%d: ADS speedup vs previous only %.2fx", nodes, ratio)
+			}
+		}
+		prev = res.Times.Sampling
+	}
+}
+
+func TestMPIOutperformsSharedMemoryOnOneNode(t *testing.T) {
+	// §IV-E: one process per socket beats the NUMA-spanning shared-memory
+	// baseline by 20-30% on one node.
+	g := testGraph()
+	cfg := kadabra.Config{Eps: 0.02, Delta: 0.1, Seed: 7}
+	m := deterministicModel(1)
+	mpiRes, err := Simulate(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shmRes, err := SimulateSharedMemoryBaseline(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(shmRes.Times.Sampling) / float64(mpiRes.Times.Sampling)
+	if speedup < 1.1 || speedup > 1.5 {
+		t.Fatalf("single-node MPI vs shm speedup %.2fx, want ~1.2-1.3x", speedup)
+	}
+}
+
+func TestBaselineIgnoresNodeCount(t *testing.T) {
+	g := testGraph()
+	cfg := kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 9}
+	a, err := SimulateSharedMemoryBaseline(g, deterministicModel(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSharedMemoryBaseline(g, deterministicModel(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Times.Sampling != b.Times.Sampling {
+		t.Fatal("shared-memory baseline must always run on one node")
+	}
+}
+
+func TestCommVolumeGrowsWithGraphSize(t *testing.T) {
+	cfg := kadabra.Config{Eps: 0.1, Delta: 0.1, Seed: 11}
+	small := gen.RMAT(gen.Graph500(8, 8, 1))
+	small, _ = graph.LargestComponent(small)
+	big := gen.RMAT(gen.Graph500(11, 8, 1))
+	big, _ = graph.LargestComponent(big)
+	rs, err := Simulate(small, deterministicModel(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(big, deterministicModel(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.CommVolumePerEpoch <= rs.CommVolumePerEpoch {
+		t.Fatalf("volume %d (big) <= %d (small)", rb.CommVolumePerEpoch, rs.CommVolumePerEpoch)
+	}
+}
+
+func TestRoadNeedsMoreSamplesThanSocial(t *testing.T) {
+	// Table II's structure: high-diameter road networks need far more
+	// samples (omega grows with log diameter, and betweenness mass is
+	// spread thin) than low-diameter social graphs of comparable size.
+	cfg := kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 13}
+	road := gen.Road(gen.RoadParams{Rows: 40, Cols: 40, DeleteProb: 0.1, DiagonalProb: 0.05, Seed: 1})
+	road, _ = graph.LargestComponent(road)
+	social := gen.RMAT(gen.Graph500(10, 8, 1)) // ~1024 nodes, comparable
+	social, _ = graph.LargestComponent(social)
+	rr, err := Simulate(road, deterministicModel(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Simulate(social, deterministicModel(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Omega <= rs.Omega {
+		t.Fatalf("road omega %f <= social omega %f", rr.Omega, rs.Omega)
+	}
+	if rr.Tau <= rs.Tau {
+		t.Fatalf("road tau %d <= social tau %d", rr.Tau, rs.Tau)
+	}
+}
+
+func TestSamplesPerSecPerNodeRoughlyConstant(t *testing.T) {
+	// Fig. 3b: per-node sampling throughput should be nearly flat across
+	// node counts (linear scaling of the sampling phase).
+	g := testGraph()
+	cfg := kadabra.Config{Eps: 0.005, Delta: 0.1, Seed: 15, EpochBase: 250}
+	var vals []float64
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		res, err := Simulate(g, deterministicModel(nodes), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, res.SamplesPerSecPerNode)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi/lo > 1.6 {
+		t.Fatalf("per-node throughput varies too much: %v", vals)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	g := testGraph()
+	if _, err := Simulate(graph.NewBuilder(1).Build(), deterministicModel(1), kadabra.Config{}); err == nil {
+		t.Fatal("tiny graph accepted")
+	}
+	bad := deterministicModel(1)
+	bad.Nodes = 0
+	if _, err := Simulate(g, bad, kadabra.Config{}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestMeasuredSampleCostPath(t *testing.T) {
+	// Without FixedSampleCost the model measures real per-sample cost; the
+	// run must still complete and produce positive times.
+	g := testGraph()
+	m := DefaultModel(2)
+	res, err := Simulate(g, m, kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleCost <= 0 || res.Times.Sampling <= 0 {
+		t.Fatalf("non-positive model outputs: %+v", res)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4}
+	for x, want := range cases {
+		if got := ceilLog2(x); got != want {
+			t.Fatalf("ceilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomMean(t *testing.T) {
+	if got := GeomMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeomMean(2,8) = %f", got)
+	}
+	if got := GeomMean([]float64{7}); got != 7 {
+		t.Fatalf("GeomMean(7) = %f", got)
+	}
+}
+
+func TestGeomMeanPanics(t *testing.T) {
+	for _, xs := range [][]float64{{}, {1, -2}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GeomMean(%v) did not panic", xs)
+				}
+			}()
+			GeomMean(xs)
+		}()
+	}
+}
+
+func TestGeomMeanLeqMean(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		return GeomMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %f", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-element StdDev must be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %f", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %f", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %f", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %f", got)
+	}
+	// Input must not be mutated (sorted copy).
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestCompareScores(t *testing.T) {
+	exact := []float64{0.5, 0.2, 0.0}
+	approx := []float64{0.45, 0.21, 0.2}
+	r := CompareScores(exact, approx, 0.06)
+	if math.Abs(r.MaxAbs-0.2) > 1e-12 || r.ArgMax != 2 {
+		t.Fatalf("MaxAbs=%f ArgMax=%d", r.MaxAbs, r.ArgMax)
+	}
+	if r.WithinEps != 2 {
+		t.Fatalf("WithinEps=%d", r.WithinEps)
+	}
+	want := (0.05 + 0.01 + 0.2) / 3
+	if math.Abs(r.MeanAbs-want) > 1e-12 {
+		t.Fatalf("MeanAbs=%f", r.MeanAbs)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []float64{0.9, 0.8, 0.1, 0.0}
+	b := []float64{0.9, 0.0, 0.8, 0.1}
+	if got := TopKOverlap(a, b, 2); got != 0.5 {
+		t.Fatalf("overlap = %f, want 0.5", got)
+	}
+	if got := TopKOverlap(a, a, 3); got != 1 {
+		t.Fatalf("self overlap = %f", got)
+	}
+}
+
+func TestTopKOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	TopKOverlap([]float64{1}, []float64{1}, 0)
+}
