@@ -1,15 +1,15 @@
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (§V), plus the ablations listed in DESIGN.md. The benchmarks
-// exercise the same drivers as cmd/experiments but on the miniature
-// BenchSuite instances so a full -bench=. run finishes in minutes; run
-// cmd/experiments for the full-scale regeneration recorded in
-// EXPERIMENTS.md.
+// evaluation (§V), plus ablation baselines. The benchmarks exercise the
+// same drivers as cmd/experiments but on the miniature BenchSuite
+// instances so a full -bench=. run finishes in minutes; run
+// cmd/experiments for the full-scale regeneration.
 //
 // Custom metrics reported where meaningful: "speedup" (vs the shared-memory
 // baseline or between configurations), "samples/s", "epochs".
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -228,7 +228,7 @@ func BenchmarkAblationAggregation(b *testing.B) {
 		s := s
 		b.Run(s.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunLocal(g, 4, core.Config{
+				res, err := core.RunLocal(context.Background(), g, 4, core.Config{
 					Config:   benchCfg(0.01, 6),
 					Threads:  2,
 					Strategy: s,
@@ -250,7 +250,7 @@ func BenchmarkAblationSimpleParallel(b *testing.B) {
 	cfg := benchCfg(0.01, 7)
 	b.Run("epoch-based", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := kadabra.SharedMemory(g, 8, cfg)
+			res, err := kadabra.SharedMemory(context.Background(), g, 8, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -259,7 +259,7 @@ func BenchmarkAblationSimpleParallel(b *testing.B) {
 	})
 	b.Run("fixed-batch-barrier", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := kadabra.SimpleParallel(g, 8, cfg)
+			res, err := kadabra.SimpleParallel(context.Background(), g, 8, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -281,7 +281,7 @@ func BenchmarkAblationEpochLength(b *testing.B) {
 		base := base
 		b.Run("base-"+itoa(int(base)), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := kadabra.SharedMemory(g, 8, kadabra.Config{
+				res, err := kadabra.SharedMemory(context.Background(), g, 8, kadabra.Config{
 					Eps: 0.01, Delta: 0.1, Seed: 16, EpochBase: base,
 				})
 				if err != nil {
@@ -326,7 +326,7 @@ func BenchmarkRealSharedMemoryThreads(b *testing.B) {
 		threads := threads
 		b.Run(threadLabel(threads), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := kadabra.SharedMemory(g, threads, benchCfg(0.008, 12))
+				res, err := kadabra.SharedMemory(context.Background(), g, threads, benchCfg(0.008, 12))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -343,7 +343,7 @@ func BenchmarkRealDistributedProcs(b *testing.B) {
 		procs := procs
 		b.Run(procLabel(procs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunLocal(g, procs, core.Config{
+				res, err := core.RunLocal(context.Background(), g, procs, core.Config{
 					Config:  benchCfg(0.008, 13),
 					Threads: 4,
 				}, core.VariantEpoch)

@@ -1,0 +1,178 @@
+// Package betweenness is the public front door to every betweenness-
+// centrality estimator in this repository: the KADABRA adaptive-sampling
+// approximation of van der Grinten & Meyerhenke (IPDPS 2020) behind one
+// entry point,
+//
+//	res, err := betweenness.Estimate(ctx, g,
+//	        betweenness.WithEpsilon(0.005),
+//	        betweenness.WithExecutor(betweenness.SharedMemory()))
+//
+// with functional options for the statistical parameters and a pluggable
+// Executor for the execution backend: Sequential (reference), SharedMemory
+// (epoch-based threads), LocalMPI (the paper's Algorithm 2 over in-process
+// ranks), PureMPI (the paper's Algorithm 1 baseline), and TCP (Algorithm 2
+// as one rank of a genuinely distributed world).
+//
+// Every backend honours context cancellation: cancelling ctx stops the
+// calibration and adaptive-sampling loops within one epoch and Estimate
+// returns ctx.Err(). On the multi-process backends the cancellation
+// propagates through the per-epoch aggregation, so cancelling any one
+// rank stops the whole world; the other ranks return ErrRemoteCancelled.
+// The diameter phase is the one non-interruptible stretch — cap it with
+// WithDiameterBFSCap or skip it with WithVertexDiameter on large graphs.
+//
+// Exact ground truth (Brandes' algorithm) and accuracy reports are
+// available via Exact and Compare.
+package betweenness
+
+import (
+	"time"
+
+	"repro/graph"
+	"repro/internal/core"
+	"repro/internal/kadabra"
+)
+
+// Snapshot is one progress observation of a running estimate, delivered to
+// the WithProgress callback after every epoch (or stopping check, for the
+// sequential backend).
+type Snapshot struct {
+	// Epoch is the 1-based index of the completed epoch.
+	Epoch int
+	// Tau is the number of samples in the consistent aggregated state.
+	Tau int64
+}
+
+// Timings is the per-phase wall-clock breakdown of a run, the raw material
+// of the paper's Figure 2b.
+type Timings struct {
+	// Diameter is the vertex-diameter phase (phase 1).
+	Diameter time.Duration
+	// Calibration is the fixed-budget sampling phase (phase 2).
+	Calibration time.Duration
+	// Sampling is the adaptive sampling phase (phase 3), total.
+	Sampling time.Duration
+	// Transition is the time spent waiting for epoch transitions
+	// (parallel backends; overlapped with sampling).
+	Transition time.Duration
+	// Barrier is the non-blocking barrier wait (MPI backends; overlapped).
+	Barrier time.Duration
+	// Reduce is the blocking aggregation time (MPI backends).
+	Reduce time.Duration
+	// Check is the stopping-condition evaluation time.
+	Check time.Duration
+}
+
+// Total returns the end-to-end duration of the three phases.
+func (t Timings) Total() time.Duration { return t.Diameter + t.Calibration + t.Sampling }
+
+// DistStats captures the distribution counters of an MPI-backend run
+// (paper Table II); it is nil on single-process backends.
+type DistStats struct {
+	// Epochs is the number of completed epochs.
+	Epochs int
+	// BarrierWait is the coordinator's non-blocking barrier poll time
+	// (overlapped with sampling).
+	BarrierWait time.Duration
+	// ReduceTime is the non-overlapped blocking-aggregation time.
+	ReduceTime time.Duration
+	// TransitionWait is the epoch-transition wait (Algorithm 2 only).
+	TransitionWait time.Duration
+	// CheckTime is the stopping-condition evaluation time at rank 0.
+	CheckTime time.Duration
+	// CommVolumePerEpoch is one epoch's aggregation traffic in bytes
+	// across all links.
+	CommVolumePerEpoch int64
+}
+
+// Result is the unified output of every backend.
+//
+// On the TCP backend, only world rank 0 receives the estimates; other
+// ranks get a Result with Estimates == nil (and Distributed still set), so
+// they can report their own communication statistics.
+type Result struct {
+	// Estimates holds btilde(v), the approximate betweenness of every
+	// vertex, with the guarantee |btilde(v) - b(v)| <= eps for all v
+	// simultaneously with probability 1-delta.
+	Estimates []float64
+	// Tau is the number of samples in the final consistent state.
+	Tau int64
+	// Omega is the static maximal sample count derived from the vertex
+	// diameter.
+	Omega float64
+	// VertexDiameter is the value omega was computed from.
+	VertexDiameter int
+	// Epochs is the number of completed epochs (stopping checks, for the
+	// sequential backend).
+	Epochs int
+	// Timings is the per-phase wall-clock breakdown.
+	Timings Timings
+	// Backend names the executor that produced the result.
+	Backend string
+	// Distributed holds MPI counters; nil on single-process backends.
+	Distributed *DistStats
+
+	// Top is the top-k ranking when WithTopK was requested: certified by
+	// the KADABRA top-k stopping rule on the Sequential backend, derived
+	// from the final estimates elsewhere.
+	Top []graph.Node
+	// Lower and Upper are per-vertex confidence bounds (Sequential
+	// backend with WithTopK only; valid simultaneously with probability
+	// 1-delta).
+	Lower, Upper []float64
+	// Separated reports whether a top-k run ended with a certified clean
+	// separation of the top set (Sequential backend with WithTopK only).
+	Separated bool
+}
+
+// TopK returns the k vertices with the highest estimated betweenness in
+// descending order (ties broken by vertex ID).
+func (r *Result) TopK(k int) []graph.Node {
+	return TopKOf(r.Estimates, k)
+}
+
+// fromKadabra converts an internal result, attaching the backend name.
+func fromKadabra(backend string, kr *kadabra.Result) *Result {
+	return &Result{
+		Estimates:      kr.Betweenness,
+		Tau:            kr.Tau,
+		Omega:          kr.Omega,
+		VertexDiameter: kr.VertexDiameter,
+		Epochs:         kr.Epochs,
+		Timings:        fromTimings(kr.Timings),
+		Backend:        backend,
+	}
+}
+
+func fromTimings(t kadabra.Timings) Timings {
+	return Timings{
+		Diameter:    t.Diameter,
+		Calibration: t.Calibration,
+		Sampling:    t.Sampling,
+		Transition:  t.Transition,
+		Barrier:     t.Barrier,
+		Reduce:      t.Reduce,
+		Check:       t.Check,
+	}
+}
+
+// fromCore converts a distributed result. Non-root ranks (cr.Res == nil)
+// produce a Result carrying only the backend name and statistics.
+func fromCore(backend string, cr *core.Result) *Result {
+	res := &Result{Backend: backend}
+	if cr == nil {
+		return res
+	}
+	if cr.Res != nil {
+		res = fromKadabra(backend, cr.Res)
+	}
+	res.Distributed = &DistStats{
+		Epochs:             cr.Stats.Epochs,
+		BarrierWait:        cr.Stats.BarrierWait,
+		ReduceTime:         cr.Stats.ReduceTime,
+		TransitionWait:     cr.Stats.TransitionWait,
+		CheckTime:          cr.Stats.CheckTime,
+		CommVolumePerEpoch: cr.Stats.CommVolumePerEpoch,
+	}
+	return res
+}

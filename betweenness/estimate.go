@@ -1,0 +1,64 @@
+package betweenness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/graph"
+)
+
+// Estimate approximates the betweenness centrality of every vertex of g
+// with the KADABRA adaptive-sampling algorithm: with probability 1-delta,
+// every estimate is within epsilon of the true (normalized) betweenness.
+//
+// The defaults are epsilon 0.01, delta 0.1, seed 1, and the SharedMemory
+// backend with one sampling thread per CPU core; options override them.
+// Cancelling ctx stops the sampling loops within one epoch and returns
+// ctx.Err(). The diameter phase (phase 1) is not interruptible — on large
+// graphs bound it with WithDiameterBFSCap or skip it entirely with
+// WithVertexDiameter.
+func Estimate(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if g == nil {
+		return nil, fmt.Errorf("betweenness: nil graph")
+	}
+	s := defaultSettings()
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	if n := g.NumNodes(); n < 2 {
+		return nil, fmt.Errorf("betweenness: need at least 2 vertices, got %d", n)
+	} else if s.TopK >= n {
+		return nil, fmt.Errorf("betweenness: top-k %d out of range [1, %d)", s.TopK, n)
+	}
+
+	res, err := s.exec.Execute(ctx, g, s.Params)
+	if err != nil {
+		// Normalize: a cancellation surfaces as the bare ctx error even
+		// when a backend wrapped it (e.g. with the failing MPI rank).
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("betweenness: backend %q returned no result", s.exec.Name())
+	}
+	if res.Backend == "" {
+		res.Backend = s.exec.Name()
+	}
+	// Uniform top-k surface: backends without a certified top-k mode
+	// derive the ranking from the final estimates.
+	if s.TopK > 0 && res.Top == nil && res.Estimates != nil {
+		res.Top = res.TopK(s.TopK)
+	}
+	return res, nil
+}

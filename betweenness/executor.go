@@ -1,0 +1,168 @@
+package betweenness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/graph"
+	"repro/internal/core"
+	"repro/internal/kadabra"
+	"repro/internal/mpi"
+)
+
+// Executor is a pluggable execution backend. Implementations receive the
+// resolved Params and must honour ctx cancellation by returning ctx.Err()
+// within one epoch of the sampling loop (the diameter phase may run to
+// completion first; see Estimate).
+type Executor interface {
+	// Name identifies the backend (recorded in Result.Backend).
+	Name() string
+	// Execute runs the estimation on g with the resolved parameters.
+	Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error)
+}
+
+// ErrRemoteCancelled reports that an MPI-backend run stopped early because
+// another rank's context was cancelled; the local result carries no
+// (eps, delta) guarantee. The rank whose context was cancelled gets its
+// own ctx.Err() instead.
+var ErrRemoteCancelled = core.ErrRemoteCancelled
+
+// coreConfig maps the public parameters onto the internal distributed
+// configuration. The progress callback is wired at the distributed level
+// only (the per-epoch hook of the embedded sequential config is cleared so
+// no future code path can fire it twice).
+func (p Params) coreConfig() core.Config {
+	cfg := core.Config{
+		Config:       p.kadabraConfig(),
+		Threads:      p.Threads,
+		Strategy:     core.AggStrategy(p.Agg),
+		RanksPerNode: p.RanksPerNode,
+	}
+	cfg.OnEpoch = cfg.Config.OnEpoch
+	cfg.Config.OnEpoch = nil
+	return cfg
+}
+
+// Sequential returns the single-threaded reference backend. It is the only
+// backend with a certified top-k mode (see WithTopK).
+func Sequential() Executor { return seqExec{} }
+
+type seqExec struct{}
+
+func (seqExec) Name() string { return "sequential" }
+
+func (e seqExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
+	cfg := p.kadabraConfig()
+	if p.TopK > 0 {
+		tr, err := kadabra.SequentialTopK(ctx, g, p.TopK, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := fromKadabra(e.Name(), &tr.Result)
+		res.Top = tr.Top
+		res.Lower = tr.Lower
+		res.Upper = tr.Upper
+		res.Separated = tr.Separated
+		return res, nil
+	}
+	kr, err := kadabra.Sequential(ctx, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromKadabra(e.Name(), kr), nil
+}
+
+// SharedMemory returns the epoch-based shared-memory backend (the paper's
+// state-of-the-art competitor, its Ref. 24): Params.Threads wait-free
+// sampling threads coordinated by thread 0. This is the default backend.
+func SharedMemory() Executor { return shmExec{} }
+
+type shmExec struct{}
+
+func (shmExec) Name() string { return "shared-memory" }
+
+func (e shmExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
+	kr, err := kadabra.SharedMemory(ctx, g, p.Threads, p.kadabraConfig())
+	if err != nil {
+		return nil, err
+	}
+	return fromKadabra(e.Name(), kr), nil
+}
+
+// LocalMPI returns the paper's epoch-based MPI parallelization (Algorithm
+// 2) over procs in-process ranks — the single-machine analogue of an MPI
+// job, with Params.Threads sampling threads per rank and optional
+// hierarchical aggregation (WithHierarchical).
+func LocalMPI(procs int) Executor {
+	return localExec{procs: procs, variant: core.VariantEpoch, name: "local-mpi"}
+}
+
+// PureMPI returns the paper's Algorithm 1 baseline over procs in-process
+// ranks: one sampling thread per rank, sampling overlapped with the
+// non-blocking aggregation.
+func PureMPI(procs int) Executor {
+	return localExec{procs: procs, variant: core.VariantPureMPI, name: "pure-mpi"}
+}
+
+type localExec struct {
+	procs   int
+	variant core.Variant
+	name    string
+}
+
+func (e localExec) Name() string { return e.name }
+
+func (e localExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
+	if e.procs < 1 {
+		return nil, fmt.Errorf("betweenness: %s backend needs at least 1 process, got %d", e.name, e.procs)
+	}
+	cr, err := core.RunLocal(ctx, g, e.procs, p.coreConfig(), e.variant)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(e.name, cr), nil
+}
+
+// TCP returns a genuinely distributed backend: this process joins a TCP
+// world as the given rank (hosts lists one host:port per rank, identical
+// on every rank) and runs Algorithm 2 collectively with the other ranks.
+// Every rank must call Estimate with a structurally identical graph and
+// equal parameters. Only rank 0's Result carries the estimates; the other
+// ranks return Estimates == nil.
+//
+// Cancelling the context on any rank stops every rank within about one
+// epoch: the cancelled rank returns its ctx.Err(), the others
+// ErrRemoteCancelled.
+func TCP(rank int, hosts []string) Executor {
+	return tcpExec{rank: rank, hosts: hosts, dialTimeout: 30 * time.Second}
+}
+
+type tcpExec struct {
+	rank        int
+	hosts       []string
+	dialTimeout time.Duration
+}
+
+func (tcpExec) Name() string { return "tcp" }
+
+func (e tcpExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
+	if e.rank < 0 || e.rank >= len(e.hosts) {
+		return nil, fmt.Errorf("betweenness: tcp rank %d out of range for %d hosts", e.rank, len(e.hosts))
+	}
+	comm, closer, err := mpi.ConnectTCP(e.rank, e.hosts, e.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("betweenness: tcp connect: %w", err)
+	}
+	defer closer.Close()
+	cr, algErr := core.Algorithm2(ctx, g, comm, p.coreConfig())
+	// Final barrier: no rank may tear down its connections while peers are
+	// still draining collectives.
+	if berr := comm.Barrier(); algErr == nil && berr != nil {
+		return nil, fmt.Errorf("betweenness: tcp final barrier: %w", berr)
+	}
+	if algErr != nil {
+		return nil, algErr
+	}
+	return fromCore("tcp", cr), nil
+}

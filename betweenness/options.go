@@ -1,0 +1,267 @@
+package betweenness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kadabra"
+)
+
+// AggStrategy selects how state frames are aggregated across MPI processes
+// each epoch (paper §IV-F compares these). The zero value is the paper's
+// preferred strategy.
+type AggStrategy int
+
+// The public constants are defined in terms of the internal ones so the
+// two enums cannot drift apart.
+const (
+	// AggIBarrierReduce overlaps a non-blocking barrier with sampling and
+	// then runs a blocking reduction — the paper's choice (§IV-F).
+	AggIBarrierReduce = AggStrategy(core.AggIBarrierReduce)
+	// AggIReduce uses a non-blocking reduction directly (paper Alg. 1/2
+	// as written; slower with common MPI implementations).
+	AggIReduce = AggStrategy(core.AggIReduce)
+	// AggBlocking performs a fully blocking reduction with no overlap
+	// (the strategy the paper found detrimental).
+	AggBlocking = AggStrategy(core.AggBlocking)
+)
+
+func (s AggStrategy) String() string {
+	switch s {
+	case AggIBarrierReduce:
+		return "ibarrier+reduce"
+	case AggIReduce:
+		return "ireduce"
+	case AggBlocking:
+		return "blocking"
+	default:
+		return fmt.Sprintf("AggStrategy(%d)", int(s))
+	}
+}
+
+// ParseAggStrategy resolves the names printed by AggStrategy.String —
+// handy for command-line flags.
+func ParseAggStrategy(name string) (AggStrategy, error) {
+	switch name {
+	case "ibarrier+reduce", "ibarrier-reduce":
+		return AggIBarrierReduce, nil
+	case "ireduce":
+		return AggIReduce, nil
+	case "blocking":
+		return AggBlocking, nil
+	default:
+		return 0, fmt.Errorf("betweenness: unknown aggregation strategy %q (want ibarrier+reduce|ireduce|blocking)", name)
+	}
+}
+
+// Params are the resolved estimation parameters an Executor receives.
+// Callers never build a Params directly — Estimate assembles it from the
+// defaults and the supplied options — but custom Executor implementations
+// read it.
+type Params struct {
+	// Epsilon is the absolute approximation error (default 0.01; the
+	// paper's main experiments use 0.001).
+	Epsilon float64
+	// Delta is the failure probability (default 0.1).
+	Delta float64
+	// Seed makes runs reproducible; worker RNG streams split from it
+	// (default 1).
+	Seed uint64
+	// Threads is the number of sampling threads per process. Zero means
+	// one per CPU core on the SharedMemory backend and one per rank on
+	// the MPI backends (where the ranks themselves provide parallelism).
+	Threads int
+	// TopK, when positive, asks for the k highest-betweenness vertices;
+	// see WithTopK for backend-dependent semantics.
+	TopK int
+	// Agg selects the inter-process aggregation strategy (MPI backends).
+	Agg AggStrategy
+	// RanksPerNode, when > 1, enables hierarchical aggregation (§IV-E)
+	// with the given group size (MPI backends).
+	RanksPerNode int
+	// Progress, when non-nil, receives a Snapshot after every epoch.
+	Progress func(Snapshot)
+	// VertexDiameter, when positive, skips the diameter phase and uses
+	// the given value.
+	VertexDiameter int
+	// DiameterBFSCap bounds the BFS sweeps of the iFUB diameter bound
+	// (0 = exact diameter phase).
+	DiameterBFSCap int
+}
+
+// kadabraConfig maps the public parameters onto the internal KADABRA
+// configuration, wiring the progress callback.
+func (p Params) kadabraConfig() kadabra.Config {
+	cfg := kadabra.Config{
+		Eps:            p.Epsilon,
+		Delta:          p.Delta,
+		Seed:           p.Seed,
+		VertexDiameter: p.VertexDiameter,
+		DiameterBFSCap: p.DiameterBFSCap,
+	}
+	if p.Progress != nil {
+		progress := p.Progress
+		cfg.OnEpoch = func(epoch int, tau int64) {
+			progress(Snapshot{Epoch: epoch, Tau: tau})
+		}
+	}
+	return cfg
+}
+
+// settings is the mutable state the options operate on.
+type settings struct {
+	Params
+	exec Executor
+}
+
+func defaultSettings() settings {
+	return settings{
+		Params: Params{
+			Epsilon: 0.01,
+			Delta:   0.1,
+			Seed:    1,
+		},
+		exec: SharedMemory(),
+	}
+}
+
+// Option configures one aspect of an Estimate call. Options validate their
+// arguments eagerly; the first failing option aborts Estimate.
+type Option func(*settings) error
+
+// WithEpsilon sets the absolute approximation error: with probability
+// 1-delta every estimate is within eps of the true betweenness. Must be in
+// (0, 1). Smaller values sharply increase running time (~1/eps^2 samples).
+func WithEpsilon(eps float64) Option {
+	return func(s *settings) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("betweenness: epsilon must be in (0, 1), got %g", eps)
+		}
+		s.Epsilon = eps
+		return nil
+	}
+}
+
+// WithDelta sets the failure probability. Must be in (0, 1).
+func WithDelta(delta float64) Option {
+	return func(s *settings) error {
+		if delta <= 0 || delta >= 1 {
+			return fmt.Errorf("betweenness: delta must be in (0, 1), got %g", delta)
+		}
+		s.Delta = delta
+		return nil
+	}
+}
+
+// WithSeed sets the RNG seed; runs with equal seeds, parameters, and
+// backend are deterministic.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) error {
+		s.Seed = seed
+		return nil
+	}
+}
+
+// WithThreads sets the number of sampling threads per process. Zero (the
+// default) means one thread per CPU core on the SharedMemory backend and
+// one thread per rank on the MPI backends; the sequential backend ignores
+// it.
+func WithThreads(threads int) Option {
+	return func(s *settings) error {
+		if threads < 0 {
+			return fmt.Errorf("betweenness: threads must be >= 0, got %d", threads)
+		}
+		s.Threads = threads
+		return nil
+	}
+}
+
+// WithTopK asks for the k highest-betweenness vertices, filling
+// Result.Top. On the Sequential backend this switches to the KADABRA
+// top-k stopping rule, which certifies the ranking (Result.Separated,
+// Result.Lower/Upper) and usually stops much earlier than a uniform
+// estimate; other backends run the uniform estimate and derive Top from
+// the final scores.
+func WithTopK(k int) Option {
+	return func(s *settings) error {
+		if k < 1 {
+			return fmt.Errorf("betweenness: top-k must be >= 1, got %d", k)
+		}
+		s.TopK = k
+		return nil
+	}
+}
+
+// WithAggStrategy selects the inter-process aggregation strategy of the
+// MPI backends. Single-process backends ignore it.
+func WithAggStrategy(strategy AggStrategy) Option {
+	return func(s *settings) error {
+		switch strategy {
+		case AggIBarrierReduce, AggIReduce, AggBlocking:
+			s.Agg = strategy
+			return nil
+		default:
+			return fmt.Errorf("betweenness: unknown aggregation strategy %d", int(strategy))
+		}
+	}
+}
+
+// WithHierarchical enables the hierarchical aggregation of §IV-E on the
+// MPI backends: consecutive groups of ranksPerNode ranks form a "compute
+// node" (the paper uses one rank per NUMA socket) whose frames are reduced
+// node-locally before the group leaders run the global reduction.
+func WithHierarchical(ranksPerNode int) Option {
+	return func(s *settings) error {
+		if ranksPerNode < 1 {
+			return fmt.Errorf("betweenness: ranks per node must be >= 1, got %d", ranksPerNode)
+		}
+		s.RanksPerNode = ranksPerNode
+		return nil
+	}
+}
+
+// WithProgress registers a callback invoked after every completed epoch
+// with a consistent progress snapshot. It runs on the coordinator thread
+// between the stopping check and the next epoch, so it must be cheap.
+func WithProgress(fn func(Snapshot)) Option {
+	return func(s *settings) error {
+		s.Progress = fn
+		return nil
+	}
+}
+
+// WithVertexDiameter skips the diameter phase and uses the given value —
+// useful when the caller has already computed it.
+func WithVertexDiameter(vd int) Option {
+	return func(s *settings) error {
+		if vd < 1 {
+			return fmt.Errorf("betweenness: vertex diameter must be >= 1, got %d", vd)
+		}
+		s.VertexDiameter = vd
+		return nil
+	}
+}
+
+// WithDiameterBFSCap bounds the diameter phase to at most n iFUB BFS
+// sweeps, trading a slightly looser sample budget for a faster phase 1
+// (0 restores the exact diameter phase).
+func WithDiameterBFSCap(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("betweenness: diameter BFS cap must be >= 0, got %d", n)
+		}
+		s.DiameterBFSCap = n
+		return nil
+	}
+}
+
+// WithExecutor selects the execution backend (default SharedMemory()).
+func WithExecutor(e Executor) Option {
+	return func(s *settings) error {
+		if e == nil {
+			return fmt.Errorf("betweenness: executor must not be nil")
+		}
+		s.exec = e
+		return nil
+	}
+}

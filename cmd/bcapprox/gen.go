@@ -1,28 +1,55 @@
 package main
 
 import (
-	"repro/internal/gen"
-	"repro/internal/graph"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/graph"
 )
 
-// Thin wrappers keeping main.go's generator table tidy.
-
-func genRMAT(scale, ef int, seed uint64) *graph.Graph {
-	return gen.RMAT(gen.Graph500(scale, ef, seed))
-}
-
-func genHyp(n, deg int, seed uint64) *graph.Graph {
-	return gen.Hyperbolic(gen.HyperbolicParams{N: n, AvgDegree: float64(deg), Gamma: 3, Seed: seed})
-}
-
-func genRoad(rows, cols int, seed uint64) *graph.Graph {
-	return gen.Road(gen.RoadParams{Rows: rows, Cols: cols, DeleteProb: 0.1, DiagonalProb: 0.03, Seed: seed})
-}
-
-func genER(n, m int, seed uint64) *graph.Graph {
-	return gen.ErdosRenyi(n, m, seed)
-}
-
-func genBA(n, k int, seed uint64) *graph.Graph {
-	return gen.BarabasiAlbert(n, k, seed)
+// ParseGenSpec parses "kind:key=val,key=val" generator specs shared by the
+// command-line tools.
+func ParseGenSpec(spec string) (*graph.Graph, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	params := map[string]int{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad generator parameter %q", kv)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad generator value %q: %v", kv, err)
+			}
+			params[k] = n
+		}
+	}
+	get := func(k string, def int) int {
+		if v, ok := params[k]; ok {
+			return v
+		}
+		return def
+	}
+	seed := uint64(get("seed", 1))
+	switch kind {
+	case "rmat":
+		return graph.RMAT(graph.Graph500(get("scale", 14), get("ef", 16), seed)), nil
+	case "hyp":
+		return graph.Hyperbolic(graph.HyperbolicParams{
+			N: get("n", 100000), AvgDegree: float64(get("deg", 30)), Gamma: 3, Seed: seed,
+		}), nil
+	case "road":
+		return graph.Road(graph.RoadParams{
+			Rows: get("rows", 300), Cols: get("cols", 300),
+			DeleteProb: 0.1, DiagonalProb: 0.03, Seed: seed,
+		}), nil
+	case "er":
+		return graph.ErdosRenyi(get("n", 10000), get("m", 100000), seed), nil
+	case "ba":
+		return graph.BarabasiAlbert(get("n", 10000), get("k", 5), seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want rmat|hyp|road|er|ba)", kind)
+	}
 }

@@ -1,9 +1,10 @@
 // Command bcapprox approximates betweenness centrality with the KADABRA
-// family of algorithms reproduced in this repository.
+// family of algorithms reproduced in this repository, through the public
+// repro/betweenness API.
 //
-// Modes:
+// Modes (execution backends):
 //
-//	-mode seq    sequential KADABRA
+//	-mode seq    sequential KADABRA (certified top-k with -certify-top)
 //	-mode shm    shared-memory epoch-based parallelization (the paper's
 //	             baseline, Ref. 24)
 //	-mode dist   epoch-based MPI parallelization (paper Algorithm 2) over
@@ -18,23 +19,27 @@
 //
 //	-gen rmat:scale=16,ef=16  -gen hyp:n=100000,deg=30  -gen road:rows=300,cols=300
 //
+// Ctrl-C cancels a running estimate cleanly within one epoch of the
+// sampling loops (the diameter phase runs to completion first; bound it
+// on large graphs by precomputing with graphinfo or using a generator
+// with a known small diameter).
+//
 // Example:
 //
 //	bcapprox -gen rmat:scale=14,ef=16 -eps 0.01 -mode dist -procs 4 -threads 6 -top 10
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/kadabra"
-	"repro/internal/mpi"
+	"repro/betweenness"
+	"repro/graph"
 )
 
 func main() {
@@ -48,7 +53,10 @@ func main() {
 		procs     = flag.Int("procs", 2, "processes for dist/alg1 modes")
 		threads   = flag.Int("threads", 4, "sampling threads per process")
 		ranksPer  = flag.Int("ranks-per-node", 0, "enable hierarchical aggregation with this group size")
+		agg       = flag.String("agg", "ibarrier+reduce", "MPI aggregation: ibarrier+reduce | ireduce | blocking")
 		topK      = flag.Int("top", 10, "print the top-k vertices")
+		certify   = flag.Bool("certify-top", false, "seq mode: use the certified top-k stopping rule")
+		progress  = flag.Bool("progress", false, "print a progress line per epoch")
 		rank      = flag.Int("rank", -1, "this process's rank (tcp mode)")
 		hosts     = flag.String("hosts", "", "comma-separated host:port per rank (tcp mode)")
 	)
@@ -58,77 +66,89 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	g, _ = graph.LargestComponent(g)
+	g, _, err = graph.LargestComponent(g)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("graph: %d nodes, %d edges (largest connected component)\n", g.NumNodes(), g.NumEdges())
 
-	kcfg := kadabra.Config{Eps: *eps, Delta: *delta, Seed: *seed}
-	start := time.Now()
-	var res *kadabra.Result
+	strategy, err := betweenness.ParseAggStrategy(*agg)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []betweenness.Option{
+		betweenness.WithEpsilon(*eps),
+		betweenness.WithDelta(*delta),
+		betweenness.WithSeed(*seed),
+		betweenness.WithThreads(*threads),
+		betweenness.WithAggStrategy(strategy),
+	}
+	if *ranksPer > 1 {
+		opts = append(opts, betweenness.WithHierarchical(*ranksPer))
+	}
+	if *progress {
+		opts = append(opts, betweenness.WithProgress(func(s betweenness.Snapshot) {
+			fmt.Printf("  epoch %4d: tau=%d\n", s.Epoch, s.Tau)
+		}))
+	}
+	if *certify {
+		if *mode != "seq" {
+			fatal(fmt.Errorf("-certify-top requires -mode seq (only the sequential backend certifies the ranking)"))
+		}
+		opts = append(opts, betweenness.WithTopK(*topK))
+	}
 
+	var exec betweenness.Executor
 	switch *mode {
 	case "seq":
-		res, err = kadabra.Sequential(g, kcfg)
+		exec = betweenness.Sequential()
 	case "shm":
-		res, err = kadabra.SharedMemory(g, *threads, kcfg)
-	case "dist", "alg1":
-		variant := core.VariantEpoch
-		if *mode == "alg1" {
-			variant = core.VariantPureMPI
-		}
-		var dres *core.Result
-		dres, err = core.RunLocal(g, *procs, core.Config{
-			Config:       kcfg,
-			Threads:      *threads,
-			RanksPerNode: *ranksPer,
-		}, variant)
-		if err == nil {
-			res = dres.Res
-			fmt.Printf("epochs: %d, barrier wait: %v, reduce: %v, comm/epoch: %.2f MiB\n",
-				dres.Stats.Epochs, dres.Stats.BarrierWait, dres.Stats.ReduceTime,
-				float64(dres.Stats.CommVolumePerEpoch)/(1<<20))
-		}
+		exec = betweenness.SharedMemory()
+	case "dist":
+		exec = betweenness.LocalMPI(*procs)
+	case "alg1":
+		exec = betweenness.PureMPI(*procs)
 	case "tcp":
 		if *rank < 0 || *hosts == "" {
 			fatal(fmt.Errorf("tcp mode requires -rank and -hosts"))
 		}
-		addrs := strings.Split(*hosts, ",")
-		comm, closer, cerr := mpi.ConnectTCP(*rank, addrs, 30*time.Second)
-		if cerr != nil {
-			fatal(cerr)
-		}
-		defer closer.Close()
-		var dres *core.Result
-		dres, err = core.Algorithm2(g, comm, core.Config{
-			Config:       kcfg,
-			Threads:      *threads,
-			RanksPerNode: *ranksPer,
-		})
-		if err == nil {
-			if berr := comm.Barrier(); berr != nil {
-				fatal(berr)
-			}
-			if comm.Rank() != 0 {
-				fmt.Println("rank done (result at rank 0)")
-				return
-			}
-			res = dres.Res
-		}
+		exec = betweenness.TCP(*rank, strings.Split(*hosts, ","))
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	opts = append(opts, betweenness.WithExecutor(exec))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	res, err := betweenness.Estimate(ctx, g, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	if res.Estimates == nil {
+		// TCP mode, non-root rank: the result lives at rank 0.
+		fmt.Println("rank done (result at rank 0)")
+		return
+	}
 
-	fmt.Printf("done in %v: tau=%d omega=%.0f vertex-diameter=%d\n",
-		time.Since(start).Round(time.Millisecond), res.Tau, res.Omega, res.VertexDiameter)
+	fmt.Printf("done in %v [%s]: tau=%d omega=%.0f vertex-diameter=%d\n",
+		time.Since(start).Round(time.Millisecond), res.Backend, res.Tau, res.Omega, res.VertexDiameter)
 	fmt.Printf("phases: diameter=%v calibration=%v sampling=%v\n",
 		res.Timings.Diameter.Round(time.Millisecond),
 		res.Timings.Calibration.Round(time.Millisecond),
 		res.Timings.Sampling.Round(time.Millisecond))
+	if d := res.Distributed; d != nil {
+		fmt.Printf("epochs: %d, barrier wait: %v, reduce: %v, comm/epoch: %.2f MiB\n",
+			d.Epochs, d.BarrierWait, d.ReduceTime,
+			float64(d.CommVolumePerEpoch)/(1<<20))
+	}
+	if *certify {
+		fmt.Printf("top-%d certified separation: %v\n", *topK, res.Separated)
+	}
 	fmt.Printf("top-%d vertices by approximate betweenness:\n", *topK)
 	for i, v := range res.TopK(*topK) {
-		fmt.Printf("  %2d. vertex %8d  b~ = %.6f\n", i+1, v, res.Betweenness[v])
+		fmt.Printf("  %2d. vertex %8d  b~ = %.6f\n", i+1, v, res.Estimates[v])
 	}
 }
 
@@ -149,49 +169,4 @@ func loadGraph(path, spec string) (*graph.Graph, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bcapprox:", err)
 	os.Exit(1)
-}
-
-// ParseGenSpec parses "kind:key=val,key=val" generator specs shared by the
-// command-line tools.
-func ParseGenSpec(spec string) (*graph.Graph, error) {
-	return parseGenSpec(spec)
-}
-
-func parseGenSpec(spec string) (*graph.Graph, error) {
-	kind, rest, _ := strings.Cut(spec, ":")
-	params := map[string]int{}
-	if rest != "" {
-		for _, kv := range strings.Split(rest, ",") {
-			k, v, ok := strings.Cut(kv, "=")
-			if !ok {
-				return nil, fmt.Errorf("bad generator parameter %q", kv)
-			}
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return nil, fmt.Errorf("bad generator value %q: %v", kv, err)
-			}
-			params[k] = n
-		}
-	}
-	get := func(k string, def int) int {
-		if v, ok := params[k]; ok {
-			return v
-		}
-		return def
-	}
-	seed := uint64(get("seed", 1))
-	switch kind {
-	case "rmat":
-		return genRMAT(get("scale", 14), get("ef", 16), seed), nil
-	case "hyp":
-		return genHyp(get("n", 100000), get("deg", 30), seed), nil
-	case "road":
-		return genRoad(get("rows", 300), get("cols", 300), seed), nil
-	case "er":
-		return genER(get("n", 10000), get("m", 100000), seed), nil
-	case "ba":
-		return genBA(get("n", 10000), get("k", 5), seed), nil
-	default:
-		return nil, fmt.Errorf("unknown generator %q (want rmat|hyp|road|er|ba)", kind)
-	}
 }

@@ -1,7 +1,8 @@
 // Command bcexact computes exact betweenness centrality with Brandes'
-// algorithm (parallelized over sources). It is the ground-truth tool for
-// validating the approximation guarantee and the practical demonstration of
-// the Theta(|V||E|) cost wall that motivates the paper.
+// algorithm (parallelized over sources) via the public repro/betweenness
+// API. It is the ground-truth tool for validating the approximation
+// guarantee and the practical demonstration of the Theta(|V||E|) cost wall
+// that motivates the paper.
 //
 // Example:
 //
@@ -14,8 +15,8 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/brandes"
-	"repro/internal/graph"
+	"repro/betweenness"
+	"repro/graph"
 )
 
 func main() {
@@ -35,14 +36,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bcexact:", err)
 		os.Exit(1)
 	}
-	g, _ = graph.LargestComponent(g)
+	g, _, err = graph.LargestComponent(g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcexact:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("graph: %d nodes, %d edges (largest connected component)\n", g.NumNodes(), g.NumEdges())
 
 	start := time.Now()
-	scores := brandes.Parallel(g, *workers)
+	scores := betweenness.Exact(g, *workers)
 	fmt.Printf("exact betweenness in %v\n", time.Since(start).Round(time.Millisecond))
 
-	for i, v := range brandes.TopK(scores, *topK) {
+	for i, v := range betweenness.TopKOf(scores, *topK) {
 		fmt.Printf("  %2d. vertex %8d  b = %.6f\n", i+1, v, scores[v])
 	}
 	if *outPath != "" {

@@ -14,8 +14,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/gen"
-	"repro/internal/graph"
+	"repro/graph"
 )
 
 func main() {
@@ -43,21 +42,26 @@ func main() {
 	var g *graph.Graph
 	switch *kind {
 	case "rmat":
-		g = gen.RMAT(gen.Graph500(*scale, *ef, *seed))
+		g = graph.RMAT(graph.Graph500(*scale, *ef, *seed))
 	case "hyperbolic":
-		g = gen.Hyperbolic(gen.HyperbolicParams{N: *n, AvgDegree: *deg, Gamma: *gamma, Seed: *seed})
+		g = graph.Hyperbolic(graph.HyperbolicParams{N: *n, AvgDegree: *deg, Gamma: *gamma, Seed: *seed})
 	case "road":
-		g = gen.Road(gen.RoadParams{Rows: *rows, Cols: *cols, DeleteProb: 0.1, DiagonalProb: 0.03, Seed: *seed})
+		g = graph.Road(graph.RoadParams{Rows: *rows, Cols: *cols, DeleteProb: 0.1, DiagonalProb: 0.03, Seed: *seed})
 	case "er":
-		g = gen.ErdosRenyi(*n, *m, *seed)
+		g = graph.ErdosRenyi(*n, *m, *seed)
 	case "ba":
-		g = gen.BarabasiAlbert(*n, *k, *seed)
+		g = graph.BarabasiAlbert(*n, *k, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
 		os.Exit(1)
 	}
 	if *lcc {
-		g, _ = graph.LargestComponent(g)
+		var err error
+		g, _, err = graph.LargestComponent(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
 	}
 	if err := graph.SaveFile(*out, g); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)

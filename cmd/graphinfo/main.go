@@ -14,9 +14,8 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/diameter"
+	"repro/graph"
 	"repro/internal/experiments"
-	"repro/internal/graph"
 )
 
 func main() {
@@ -72,9 +71,13 @@ func describe(g *graph.Graph, withDiameter bool) {
 	fmt.Printf("components: %d (largest: %d nodes)\n", len(sizes), largest)
 
 	if withDiameter {
-		lcc, _ := graph.LargestComponent(g)
+		lcc, _, err := graph.LargestComponent(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphinfo: diameter skipped:", err)
+			return
+		}
 		start := time.Now()
-		d := diameter.Exact(lcc)
+		d := graph.Diameter(lcc)
 		fmt.Printf("diameter (largest component): %d (computed in %v)\n",
 			d, time.Since(start).Round(time.Millisecond))
 	}

@@ -2,8 +2,18 @@
 // Approximation to Billions of Edges by MPI-based Adaptive Sampling"
 // (van der Grinten & Meyerhenke, IPDPS 2020).
 //
-// The library lives under internal/ (see DESIGN.md for the system
-// inventory); executables under cmd/; runnable examples under examples/.
-// The top-level bench_test.go regenerates every table and figure of the
-// paper's evaluation — see EXPERIMENTS.md for the recorded results.
+// The public API lives in two root packages:
+//
+//   - repro/betweenness — one entry point, betweenness.Estimate(ctx, g,
+//     opts...), with functional options and pluggable execution backends
+//     (Sequential, SharedMemory, LocalMPI, PureMPI, TCP), plus exact
+//     Brandes ground truth and accuracy reports.
+//   - repro/graph — the CSR graph type, builder, file loaders, diameter
+//     routines, and the synthetic generators behind the paper's Table I.
+//
+// The algorithm implementations live under internal/ and are reached only
+// through the public packages; executables are under cmd/ (bcapprox,
+// bcexact, graphgen, graphinfo, experiments); runnable examples under
+// examples/. The top-level bench_test.go regenerates the tables and
+// figures of the paper's evaluation on miniature instances.
 package repro

@@ -24,10 +24,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/graph"
 	"repro/internal/bfs"
 	"repro/internal/epoch"
-	"repro/internal/gen"
-	"repro/internal/graph"
 	"repro/internal/rng"
 )
 
@@ -39,8 +38,11 @@ const (
 )
 
 func main() {
-	g := gen.RMAT(gen.Graph500(12, 8, 77))
-	g, _ = graph.LargestComponent(g)
+	g := graph.RMAT(graph.Graph500(12, 8, 77))
+	g, _, err := graph.LargestComponent(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	n := g.NumNodes()
 	fmt.Printf("graph: %d nodes, %d edges; estimating %d-hop reachability, eps=%.3f\n",
 		n, g.NumEdges(), hops, eps)

@@ -1,8 +1,8 @@
 // Distributed run over TCP: launches several OS-level worker processes on
 // localhost, each holding the full graph (the paper's standing assumption),
-// and runs the epoch-based MPI algorithm (paper Algorithm 2) across them.
-// The same binary works across real hosts — give every rank the full
-// host:port list.
+// and runs the epoch-based MPI algorithm (paper Algorithm 2) across them
+// through the public API's TCP backend. The same binary works across real
+// hosts — give every rank the full host:port list.
 //
 // Run with:
 //
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,11 +21,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/gen"
-	"repro/internal/graph"
-	"repro/internal/kadabra"
-	"repro/internal/mpi"
+	"repro/betweenness"
+	"repro/graph"
 )
 
 const ranks = 3
@@ -87,40 +85,35 @@ func worker(rank int, addrs []string) {
 	// Every rank builds the identical graph (same seed) — in production the
 	// ranks would each load the same file; the graph must fit in each
 	// process's memory, per the paper's design.
-	g := gen.RMAT(gen.Graph500(13, 16, 2024))
-	g, _ = graph.LargestComponent(g)
-
-	comm, closer, err := mpi.ConnectTCP(rank, addrs, 30*time.Second)
-	if err != nil {
-		log.Fatalf("rank %d: connect: %v", rank, err)
-	}
-	defer closer.Close()
-
-	start := time.Now()
-	res, err := core.Algorithm2(g, comm, core.Config{
-		Config:  kadabra.Config{Eps: 0.015, Delta: 0.1, Seed: 7},
-		Threads: 4,
-	})
+	g := graph.RMAT(graph.Graph500(13, 16, 2024))
+	g, _, err := graph.LargestComponent(g)
 	if err != nil {
 		log.Fatalf("rank %d: %v", rank, err)
 	}
-	if err := comm.Barrier(); err != nil {
-		log.Fatalf("rank %d: final barrier: %v", rank, err)
+
+	start := time.Now()
+	res, err := betweenness.Estimate(context.Background(), g,
+		betweenness.WithEpsilon(0.015),
+		betweenness.WithDelta(0.1),
+		betweenness.WithSeed(7),
+		betweenness.WithThreads(4),
+		betweenness.WithExecutor(betweenness.TCP(rank, addrs)))
+	if err != nil {
+		log.Fatalf("rank %d: %v", rank, err)
 	}
-	if comm.Rank() != 0 {
+	if res.Estimates == nil {
 		fmt.Printf("rank %d done (sampled for %v)\n", rank, time.Since(start).Round(time.Millisecond))
 		return
 	}
-	r := res.Res
 	fmt.Printf("rank 0: %d nodes, %d edges -> tau=%d, %d epochs, %v total\n",
-		g.NumNodes(), g.NumEdges(), r.Tau, res.Stats.Epochs,
+		g.NumNodes(), g.NumEdges(), res.Tau, res.Distributed.Epochs,
 		time.Since(start).Round(time.Millisecond))
 	fmt.Printf("rank 0: barrier wait %v, blocking reduce %v, comm %0.2f MiB/epoch\n",
-		res.Stats.BarrierWait.Round(time.Microsecond),
-		res.Stats.ReduceTime.Round(time.Microsecond),
-		float64(res.Stats.CommVolumePerEpoch)/(1<<20))
+		res.Distributed.BarrierWait.Round(time.Microsecond),
+		res.Distributed.ReduceTime.Round(time.Microsecond),
+		float64(res.Distributed.CommVolumePerEpoch)/(1<<20))
 	fmt.Println("rank 0: top-5 central vertices:")
-	for i, v := range r.TopK(5) {
-		fmt.Printf("  %d. vertex %6d  b~ = %.5f\n", i+1, v, r.Betweenness[v])
+	for i, v := range res.TopK(5) {
+		fmt.Printf("  %d. vertex %6d  b~ = %.5f\n", i+1, v, res.Estimates[v])
 	}
 }

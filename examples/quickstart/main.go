@@ -1,6 +1,6 @@
 // Quickstart: approximate betweenness centrality on a synthetic social
-// network, compare against the exact values, and print the most central
-// vertices.
+// network through the public API, compare against the exact values, and
+// print the most central vertices.
 //
 // Run with:
 //
@@ -8,15 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/brandes"
-	"repro/internal/gen"
-	"repro/internal/graph"
-	"repro/internal/kadabra"
-	"repro/internal/stats"
+	"repro/betweenness"
+	"repro/graph"
 )
 
 func main() {
@@ -25,35 +23,43 @@ func main() {
 	//    Graph500 parameters, reduced to its largest connected component
 	//    (betweenness is defined pairwise, so disconnected fragments only
 	//    dilute the scores).
-	g := gen.RMAT(gen.Graph500(12, 16, 42))
-	g, _ = graph.LargestComponent(g)
-	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
-
-	// 2. Approximate betweenness. Eps is the absolute error bound: with
-	//    probability 1-Delta, every vertex's estimate is within Eps of the
-	//    truth. Smaller Eps costs more samples (~1/Eps^2).
-	cfg := kadabra.Config{Eps: 0.01, Delta: 0.1, Seed: 7}
-	start := time.Now()
-	res, err := kadabra.SharedMemory(g, 0 /* threads: 0 = all cores */, cfg)
+	g := graph.RMAT(graph.Graph500(12, 16, 42))
+	g, _, err := graph.LargestComponent(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("approximation: %v (%d samples, omega=%.0f, %d epochs)\n",
-		time.Since(start).Round(time.Millisecond), res.Tau, res.Omega, res.Epochs)
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	// 2. Approximate betweenness. Epsilon is the absolute error bound:
+	//    with probability 1-delta, every vertex's estimate is within
+	//    epsilon of the truth. Smaller epsilon costs more samples
+	//    (~1/eps^2). The default backend uses every CPU core; cancel the
+	//    context to abort a long run early.
+	const eps = 0.01
+	start := time.Now()
+	res, err := betweenness.Estimate(context.Background(), g,
+		betweenness.WithEpsilon(eps),
+		betweenness.WithDelta(0.1),
+		betweenness.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("approximation [%s]: %v (%d samples, omega=%.0f, %d epochs)\n",
+		res.Backend, time.Since(start).Round(time.Millisecond), res.Tau, res.Omega, res.Epochs)
 
 	// 3. Inspect the top vertices.
 	fmt.Println("top-5 vertices by approximate betweenness:")
 	for i, v := range res.TopK(5) {
-		fmt.Printf("  %d. vertex %6d  b~ = %.5f\n", i+1, v, res.Betweenness[v])
+		fmt.Printf("  %d. vertex %6d  b~ = %.5f\n", i+1, v, res.Estimates[v])
 	}
 
 	// 4. Validate against the exact algorithm (feasible at this scale; the
 	//    whole point of the paper is that it is NOT feasible at billions of
 	//    edges).
 	start = time.Now()
-	exact := brandes.Parallel(g, 0)
+	exact := betweenness.Exact(g, 0)
 	fmt.Printf("exact Brandes: %v\n", time.Since(start).Round(time.Millisecond))
-	rep := stats.CompareScores(exact, res.Betweenness, cfg.Eps)
-	fmt.Printf("max abs error: %.5f (guarantee: <= %.3f with prob 0.9)\n", rep.MaxAbs, cfg.Eps)
-	fmt.Printf("top-10 overlap with exact: %.0f%%\n", 100*stats.TopKOverlap(exact, res.Betweenness, 10))
+	rep := betweenness.Compare(exact, res.Estimates, eps)
+	fmt.Printf("max abs error: %.5f (guarantee: <= %.3f with prob 0.9)\n", rep.MaxAbs, eps)
+	fmt.Printf("top-10 overlap with exact: %.0f%%\n", 100*betweenness.TopKOverlap(exact, res.Estimates, 10))
 }

@@ -14,34 +14,48 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/diameter"
-	"repro/internal/gen"
-	"repro/internal/graph"
-	"repro/internal/kadabra"
+	"repro/betweenness"
+	"repro/graph"
 )
 
 func main() {
 	// A perturbed lattice mimicking a state road network, and an R-MAT
 	// social network with a similar node count.
-	road := gen.Road(gen.RoadParams{Rows: 110, Cols: 110, DeleteProb: 0.1, DiagonalProb: 0.03, Seed: 5})
-	road, _ = graph.LargestComponent(road)
-	social := gen.RMAT(gen.Graph500(13, 4, 5))
-	social, _ = graph.LargestComponent(social)
+	road := graph.Road(graph.RoadParams{Rows: 110, Cols: 110, DeleteProb: 0.1, DiagonalProb: 0.03, Seed: 5})
+	road, _, err := graph.LargestComponent(road)
+	if err != nil {
+		log.Fatal(err)
+	}
+	social := graph.RMAT(graph.Graph500(13, 4, 5))
+	social, _, err = graph.LargestComponent(social)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	analyze := func(name string, g *graph.Graph) {
-		d := diameter.Exact(g)
+		d := graph.Diameter(g)
 		fmt.Printf("%-8s %7d nodes %8d edges  diameter %4d\n", name, g.NumNodes(), g.NumEdges(), d)
 	}
 	analyze("road", road)
 	analyze("social", social)
 
 	eps := 0.02
-	run := func(name string, g *graph.Graph, threads int) *kadabra.Result {
-		res, err := kadabra.SharedMemory(g, threads, kadabra.Config{Eps: eps, Delta: 0.1, Seed: 11})
+	run := func(name string, g *graph.Graph, threads int) *betweenness.Result {
+		exec := betweenness.Sequential()
+		if threads > 1 {
+			exec = betweenness.SharedMemory()
+		}
+		res, err := betweenness.Estimate(context.Background(), g,
+			betweenness.WithEpsilon(eps),
+			betweenness.WithDelta(0.1),
+			betweenness.WithSeed(11),
+			betweenness.WithThreads(threads),
+			betweenness.WithExecutor(exec))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,6 +86,6 @@ func main() {
 
 	fmt.Println("\ntop-5 road bottlenecks (bridges and arterials):")
 	for i, v := range roadPar.TopK(5) {
-		fmt.Printf("  %d. junction %6d  b~ = %.5f\n", i+1, v, roadPar.Betweenness[v])
+		fmt.Printf("  %d. junction %6d  b~ = %.5f\n", i+1, v, roadPar.Estimates[v])
 	}
 }

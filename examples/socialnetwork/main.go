@@ -11,38 +11,42 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/gen"
-	"repro/internal/graph"
-	"repro/internal/kadabra"
+	"repro/betweenness"
+	"repro/graph"
 )
 
 func main() {
 	// A Graph500-parameter R-MAT graph: heavy-tailed degrees, tiny diameter
 	// — the same family the paper uses to model social networks.
-	g := gen.RMAT(gen.Graph500(14, 24, 99))
-	g, _ = graph.LargestComponent(g)
+	g := graph.RMAT(graph.Graph500(14, 24, 99))
+	g, _, err := graph.LargestComponent(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("social graph: %d accounts, %d follow edges\n", g.NumNodes(), g.NumEdges())
 
 	// Distributed run: 4 in-process ranks x 4 threads, hierarchical
 	// aggregation with 2 ranks per "node" (the paper's one-process-per-
 	// NUMA-socket layout).
-	run := func(eps float64) (*kadabra.Result, time.Duration) {
+	run := func(eps float64) (*betweenness.Result, time.Duration) {
 		start := time.Now()
-		res, err := core.RunLocal(g, 4, core.Config{
-			Config:       kadabra.Config{Eps: eps, Delta: 0.1, Seed: 3},
-			Threads:      4,
-			RanksPerNode: 2,
-		}, core.VariantEpoch)
+		res, err := betweenness.Estimate(context.Background(), g,
+			betweenness.WithEpsilon(eps),
+			betweenness.WithDelta(0.1),
+			betweenness.WithSeed(3),
+			betweenness.WithThreads(4),
+			betweenness.WithHierarchical(2),
+			betweenness.WithExecutor(betweenness.LocalMPI(4)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		return res.Res, time.Since(start)
+		return res, time.Since(start)
 	}
 
 	// Coarse pass: eps = 0.05 is cheap but can only separate vertices whose
@@ -66,15 +70,15 @@ func main() {
 		return c
 	}
 	fmt.Printf("\naccounts with betweenness provably > 0 at coarse eps: %d\n",
-		countAbove(coarse.Betweenness, 2*0.05))
+		countAbove(coarse.Estimates, 2*0.05))
 	fmt.Printf("accounts with betweenness provably > 0 at fine eps:   %d\n",
-		countAbove(fine.Betweenness, 2*0.005))
+		countAbove(fine.Estimates, 2*0.005))
 
 	fmt.Println("\ntop-10 broker accounts (fine pass):")
 	top := fine.TopK(10)
 	for i, v := range top {
 		fmt.Printf("  %2d. account %6d  b~ = %.5f  (degree %d)\n",
-			i+1, v, fine.Betweenness[v], g.Degree(v))
+			i+1, v, fine.Estimates[v], g.Degree(v))
 	}
 
 	// Brokers are not simply the highest-degree accounts: compare rankings.

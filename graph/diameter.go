@@ -1,0 +1,21 @@
+package graph
+
+import (
+	"repro/internal/diameter"
+)
+
+// Diameter computes the exact diameter of g by running a BFS from every
+// vertex — Theta(|V||E|), feasible only on small graphs.
+func Diameter(g *Graph) int { return int(diameter.Exact(g)) }
+
+// ApproxDiameter bounds the diameter with the iFUB heuristic using at most
+// maxBFS BFS sweeps (0 = run to an exact answer). The second return value
+// reports whether the bound is exact.
+func ApproxDiameter(g *Graph, maxBFS int) (diam int, exact bool) {
+	d, ex := diameter.IFUB(g, maxBFS)
+	return int(d), ex
+}
+
+// VertexDiameter returns the number of vertices on a longest shortest
+// path, the quantity the KADABRA sample budget omega depends on.
+func VertexDiameter(g *Graph) int { return diameter.VertexDiameter(g) }

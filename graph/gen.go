@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"repro/internal/gen"
+)
+
+// Synthetic generators: the graph families the paper evaluates on
+// (Graph500 R-MAT social proxies, random hyperbolic graphs, perturbed
+// road lattices) plus classic baselines.
+
+// RMATParams parameterizes the recursive-matrix generator.
+type RMATParams = gen.RMATParams
+
+// Graph500 returns the Graph500-benchmark R-MAT parameters for 2^scale
+// vertices with the given edge factor.
+func Graph500(scale, edgeFactor int, seed uint64) RMATParams {
+	return gen.Graph500(scale, edgeFactor, seed)
+}
+
+// RMAT generates a recursive-matrix random graph (heavy-tailed degrees,
+// small diameter — the paper's social-network proxy).
+func RMAT(p RMATParams) *Graph { return gen.RMAT(p) }
+
+// HyperbolicParams parameterizes the random hyperbolic generator.
+type HyperbolicParams = gen.HyperbolicParams
+
+// Hyperbolic generates a random hyperbolic graph (power-law degrees with
+// tunable exponent — the paper's web-graph proxy).
+func Hyperbolic(p HyperbolicParams) *Graph { return gen.Hyperbolic(p) }
+
+// RoadParams parameterizes the perturbed-lattice road generator.
+type RoadParams = gen.RoadParams
+
+// Road generates a perturbed lattice mimicking a road network (high
+// diameter — the paper's hard case).
+func Road(p RoadParams) *Graph { return gen.Road(p) }
+
+// ErdosRenyi generates a uniform random graph with n vertices and m edges.
+func ErdosRenyi(n, m int, seed uint64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// BarabasiAlbert generates a preferential-attachment graph where every new
+// vertex attaches k edges.
+func BarabasiAlbert(n, k int, seed uint64) *Graph { return gen.BarabasiAlbert(n, k, seed) }

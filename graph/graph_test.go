@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestLargestComponentSurfacesDegenerateInputs(t *testing.T) {
+	if _, _, err := LargestComponent(nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, _, err := LargestComponent(NewBuilder(0).Build()); err == nil {
+		t.Error("empty graph accepted")
+	}
+	// Isolated vertices only: the largest component is a single vertex,
+	// useless for betweenness.
+	if _, _, err := LargestComponent(NewBuilder(3).Build()); err == nil {
+		t.Error("edgeless graph accepted")
+	}
+}
+
+func TestLargestComponentKeepsLargest(t *testing.T) {
+	// Two components: a triangle and an edge.
+	g := FromEdges(5, [][2]Node{{0, 1}, {1, 2}, {2, 0}, {3, 4}})
+	lcc, remap, err := LargestComponent(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lcc.NumNodes() != 3 || lcc.NumEdges() != 3 {
+		t.Fatalf("largest component has %d nodes, %d edges; want 3, 3", lcc.NumNodes(), lcc.NumEdges())
+	}
+	if len(remap) != 3 {
+		t.Fatalf("remap has %d entries, want 3", len(remap))
+	}
+}
+
+func TestGeneratorsAndRoundTrip(t *testing.T) {
+	g := RMAT(Graph500(8, 8, 1))
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("RMAT generated an empty graph")
+	}
+	path := filepath.Join(t.TempDir(), "g.bcsr")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed the graph: %d/%d -> %d/%d",
+			g.NumNodes(), g.NumEdges(), back.NumNodes(), back.NumEdges())
+	}
+}
+
+func TestDiameterHelpers(t *testing.T) {
+	// A path on 4 vertices: diameter 3, vertex diameter 4.
+	g := FromEdges(4, [][2]Node{{0, 1}, {1, 2}, {2, 3}})
+	if d := Diameter(g); d != 3 {
+		t.Errorf("Diameter = %d, want 3", d)
+	}
+	if vd := VertexDiameter(g); vd != 4 {
+		t.Errorf("VertexDiameter = %d, want 4", vd)
+	}
+	if d, exact := ApproxDiameter(g, 0); !exact || d != 3 {
+		t.Errorf("ApproxDiameter = (%d, %v), want (3, true)", d, exact)
+	}
+}

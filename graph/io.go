@@ -1,0 +1,28 @@
+package graph
+
+import (
+	"io"
+
+	igraph "repro/internal/graph"
+)
+
+// LoadFile reads a graph from path: a text edge list, or the compact BCSR
+// binary format when the name ends in ".bcsr".
+func LoadFile(path string) (*Graph, error) { return igraph.LoadFile(path) }
+
+// SaveFile writes a graph to path, choosing the format by extension like
+// LoadFile.
+func SaveFile(path string, g *Graph) error { return igraph.SaveFile(path, g) }
+
+// ReadEdgeList parses a whitespace-separated text edge list ('#' and '%'
+// start comments).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return igraph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g as a text edge list, one edge per line.
+func WriteEdgeList(w io.Writer, g *Graph) error { return igraph.WriteEdgeList(w, g) }
+
+// ReadBinary parses the BCSR binary format.
+func ReadBinary(r io.Reader) (*Graph, error) { return igraph.ReadBinary(r) }
+
+// WriteBinary writes g in the BCSR binary format.
+func WriteBinary(w io.Writer, g *Graph) error { return igraph.WriteBinary(w, g) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +21,13 @@ import (
 // All processes must call it collectively with the same configuration and
 // (structurally identical) graph. World rank 0 returns the result; other
 // ranks return Result{Res: nil}.
-func Algorithm1(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
+//
+// Cancellation on any rank propagates: every rank gossips its context
+// state with the per-epoch reduction, rank 0 folds it (and its own ctx)
+// into the termination broadcast, and all ranks leave the collective loop
+// cleanly within one epoch — cancelled ranks return their ctx.Err(), the
+// others ErrRemoteCancelled.
+func Algorithm1(ctx context.Context, g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 	if g.NumNodes() < 2 {
 		return nil, fmt.Errorf("core: need at least 2 vertices, got %d", g.NumNodes())
 	}
@@ -92,11 +99,11 @@ func Algorithm1(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 
 	// Degenerate case: the calibration samples may already satisfy the
 	// stopping condition (tiny graphs, loose eps).
-	stopNow := false
+	var code int64
 	if comm.Rank() == root {
-		stopNow = cal.HaveToStop(S, STau)
+		code = stopCode(cal.HaveToStop(S, STau), ctx.Err(), 0)
 	}
-	d, err := broadcastFlag(comm, root, stopNow, takeSample)
+	code, err = broadcastCode(comm, root, code, takeSample)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +116,7 @@ func Algorithm1(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 	var wire []byte
 	var checkTime time.Duration
 
-	for !d {
+	for code == codeContinue {
 		// for n0 times do: S_loc += sample  (Alg. 1 line 5)
 		for i := 0; i < n0; i++ {
 			takeSample()
@@ -122,7 +129,7 @@ func Algorithm1(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 			loc[i] = 0
 		}
 		locTau = 0
-		wire = encodeFrame(wire, snapTau, snapshot)
+		wire = encodeFrame(wire, snapTau, snapshot, ctx.Err() != nil)
 
 		reduced, bw, rt, err := aggregate(comm, cfg.Strategy, wire, takeSample)
 		if err != nil {
@@ -132,19 +139,23 @@ func Algorithm1(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 		stats.ReduceTime += rt
 		stats.Epochs++
 
-		stop := false
+		var next int64
 		if comm.Rank() == root {
 			// S += S'; d = CheckForStop(S)  (Alg. 1 lines 13-14)
-			tau := decodeFrame(reduced, snapshot)
+			tau, remoteCancelled := decodeFrame(reduced, snapshot)
 			STau += tau
 			for i, v := range snapshot {
 				S[i] += v
 			}
 			cs := time.Now()
-			stop = cal.HaveToStop(S, STau)
+			stop := cal.HaveToStop(S, STau)
 			checkTime += time.Since(cs)
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(stats.Epochs, STau)
+			}
+			next = stopCode(stop, ctx.Err(), remoteCancelled)
 		}
-		d, err = broadcastFlag(comm, root, stop, takeSample)
+		code, err = broadcastCode(comm, root, next, takeSample)
 		if err != nil {
 			return nil, err
 		}
@@ -152,9 +163,11 @@ func Algorithm1(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 	samplingTime := time.Since(samplingStart)
 	stats.CheckTime = checkTime
 
+	if err := cancelResult(ctx, code); err != nil {
+		return nil, err
+	}
 	res := &Result{Stats: stats}
 	if comm.Rank() == root {
-		stats.Samples = STau
 		res.Stats.Samples = STau
 		res.Res = finalize(n, S, STau, omega, vd, stats.Epochs, kadabra.Timings{
 			Diameter:    diamTime,

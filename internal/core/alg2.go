@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,7 +25,13 @@ import (
 // one-process-per-NUMA-socket deployment.
 //
 // All processes call it collectively; world rank 0 returns the result.
-func Algorithm2(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
+//
+// Cancellation on any rank propagates: every rank gossips its context
+// state with the per-epoch reduction, rank 0 folds it (and its own ctx)
+// into the termination broadcast, and all ranks leave the collective loop
+// cleanly within one epoch — cancelled ranks return their ctx.Err(), the
+// others ErrRemoteCancelled.
+func Algorithm2(ctx context.Context, g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 	if g.NumNodes() < 2 {
 		return nil, fmt.Errorf("core: need at least 2 vertices, got %d", g.NumNodes())
 	}
@@ -190,18 +197,22 @@ func Algorithm2(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 	stats.CommVolumePerEpoch = commVolumePerEpoch(n, comm.Size())
 
 	// Degenerate case: calibration alone may satisfy the stopping condition.
-	stopNow := false
+	var code int64
 	if comm.Rank() == root {
-		stopNow = cal.HaveToStop(S, STau)
+		code = stopCode(cal.HaveToStop(S, STau), ctx.Err(), 0)
 	}
-	d, err := broadcastFlag(comm, root, stopNow, sample0)
+	code, err = broadcastCode(comm, root, code, sample0)
 	if err != nil {
 		done.Store(true)
 		wg.Wait()
 		return nil, err
 	}
-	if d {
-		return finish(stats, 0, 0), nil
+	if code != codeContinue {
+		res := finish(stats, 0, 0)
+		if err := cancelResult(ctx, code); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 
 	samplingStart := time.Now()
@@ -225,10 +236,11 @@ func Algorithm2(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 		}
 		stats.TransitionWait += time.Since(ts)
 
-		// Aggregate this process's epoch-e frames (lines 16-18).
+		// Aggregate this process's epoch-e frames (lines 16-18), gossiping
+		// this rank's context state with the reduction.
 		eLoc.Reset()
 		fw.AggregateEpoch(e, eLoc)
-		wire = encodeFrame(wire, eLoc.Tau, eLoc.C)
+		wire = encodeFrame(wire, eLoc.Tau, eLoc.C, ctx.Err() != nil)
 
 		// Inter-process aggregation (lines 19-21), hierarchical per §IV-E:
 		// node-local blocking reduce (the shared-memory analogue), then the
@@ -259,32 +271,37 @@ func Algorithm2(g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
 
 		// Fold into S and check the stopping condition at rank 0 only
 		// (lines 22-24).
-		stop := false
+		var next int64
 		if comm.Rank() == root {
-			tau := decodeFrame(reduced, eLoc.C)
+			tau, remoteCancelled := decodeFrame(reduced, eLoc.C)
 			STau += tau
 			for i, v := range eLoc.C {
 				S[i] += v
 			}
 			cs := time.Now()
-			stop = cal.HaveToStop(S, STau)
+			stop := cal.HaveToStop(S, STau)
 			checkTime += time.Since(cs)
 			if cfg.OnEpoch != nil {
 				cfg.OnEpoch(stats.Epochs, STau)
 			}
+			next = stopCode(stop, ctx.Err(), remoteCancelled)
 		}
 
-		// Broadcast the termination flag with overlap (lines 25-27).
-		d, err = broadcastFlag(comm, root, stop, sample0)
+		// Broadcast the termination code with overlap (lines 25-27).
+		code, err = broadcastCode(comm, root, next, sample0)
 		if err != nil {
 			done.Store(true)
 			wg.Wait()
 			return nil, err
 		}
 		e++
-		if d {
+		if code != codeContinue {
 			stats.CheckTime = checkTime
-			return finish(stats, time.Since(samplingStart), checkTime), nil
+			res := finish(stats, time.Since(samplingStart), checkTime)
+			if err := cancelResult(ctx, code); err != nil {
+				return nil, err
+			}
+			return res, nil
 		}
 	}
 }

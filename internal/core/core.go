@@ -20,6 +20,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -102,8 +104,8 @@ type Stats struct {
 	ReduceTime time.Duration
 	// CommVolumePerEpoch is the aggregation traffic of one epoch in bytes
 	// across all links (Table II "Com."): the reduction moves one
-	// (|V|+1)-int64 frame over each of the P-1 tree edges, plus the
-	// termination broadcast flags.
+	// (|V|+2)-int64 frame over each of the P-1 tree edges, plus the
+	// termination broadcast codes.
 	CommVolumePerEpoch int64
 	// CheckTime is the stopping-condition evaluation time at rank 0.
 	CheckTime time.Duration
@@ -119,14 +121,21 @@ type Result struct {
 	Stats Stats
 }
 
-// frameBytes returns the wire size of one state frame for an n-vertex graph.
-func frameBytes(n int) int64 { return int64(n+1) * 8 }
+// ErrRemoteCancelled reports that the run stopped early because the
+// context of another rank in the world was cancelled: the cancellation
+// propagated through the per-epoch aggregation, so the local (partial)
+// state carries no (eps, delta) guarantee.
+var ErrRemoteCancelled = errors.New("core: run cancelled on a remote rank")
+
+// frameBytes returns the wire size of one state frame for an n-vertex
+// graph: tau, the per-vertex counts, and the cancellation flag.
+func frameBytes(n int) int64 { return int64(n+2) * 8 }
 
 func commVolumePerEpoch(n, procs int) int64 {
 	if procs <= 1 {
 		return 0
 	}
-	return int64(procs-1)*frameBytes(n) + int64(procs-1)
+	return int64(procs-1)*frameBytes(n) + 8*int64(procs-1)
 }
 
 // phase1 computes the vertex diameter at world rank 0 (the paper uses a
@@ -158,19 +167,31 @@ func phase1(g *graph.Graph, comm *mpi.Comm, cfg Config) (vd int, elapsed time.Du
 	return int(dec[0]), elapsed, nil
 }
 
-// encodeFrame serializes (tau, counts) into buf (resized as needed).
-func encodeFrame(buf []byte, tau int64, counts []int64) []byte {
+// encodeFrame serializes (tau, counts, cancelled) into buf (resized as
+// needed). The trailing cancellation flag rides along with the sum
+// reduction, so any rank's context cancellation reaches rank 0 within one
+// epoch without extra messages.
+func encodeFrame(buf []byte, tau int64, counts []int64, cancelled bool) []byte {
 	buf = buf[:0]
 	buf = mpi.EncodeInt64s(buf, []int64{tau})
-	return mpi.EncodeInt64s(buf, counts)
+	buf = mpi.EncodeInt64s(buf, counts)
+	var flag int64
+	if cancelled {
+		flag = 1
+	}
+	return mpi.EncodeInt64s(buf, []int64{flag})
 }
 
-// decodeFrame deserializes a frame produced by encodeFrame.
-func decodeFrame(buf []byte, counts []int64) (tau int64) {
+// decodeFrame deserializes a frame produced by encodeFrame. After a sum
+// reduction, cancelled > 0 means at least one contributing rank had a
+// cancelled context.
+func decodeFrame(buf []byte, counts []int64) (tau, cancelled int64) {
 	head := make([]int64, 1)
 	mpi.DecodeInt64s(head, buf[:8])
-	mpi.DecodeInt64s(counts, buf[8:])
-	return head[0]
+	mpi.DecodeInt64s(counts, buf[8:8+8*len(counts)])
+	tail := make([]int64, 1)
+	mpi.DecodeInt64s(tail, buf[len(buf)-8:])
+	return head[0], tail[0]
 }
 
 // phase2 runs the calibration: every thread of every process takes an equal
@@ -193,14 +214,14 @@ func phase2(comm *mpi.Comm, cfg Config, n int, omega float64,
 	perThread := int(tau0)/totalWorkers + 1
 
 	counts, tau := sampleBatch(perThread)
-	buf := encodeFrame(nil, tau, counts)
+	buf := encodeFrame(nil, tau, counts, false)
 	res, err := comm.Reduce(0, buf, mpi.SumInt64)
 	if err != nil {
 		return nil, nil, 0, 0, fmt.Errorf("core: calibration reduce: %w", err)
 	}
 	if comm.Rank() == 0 {
 		calCounts = make([]int64, n)
-		calTau = decodeFrame(res, calCounts)
+		calTau, _ = decodeFrame(res, calCounts)
 		cal = kadabra.Calibrate(calCounts, calTau, omega, kcfg.Eps, kcfg.Delta)
 	}
 	return cal, calCounts, calTau, time.Since(start), nil
@@ -245,12 +266,21 @@ func aggregate(comm *mpi.Comm, strategy AggStrategy, buf []byte, overlap func())
 	}
 }
 
-// broadcastFlag distributes the termination flag with a non-blocking
-// broadcast, overlapping with overlap() (paper Alg. 1 line 16).
-func broadcastFlag(comm *mpi.Comm, root int, flag bool, overlap func()) (bool, error) {
+// Termination codes broadcast by rank 0 each epoch (paper Alg. 1 line 16
+// carries a boolean; the cancelled code additionally tells every rank the
+// early stop came from a context cancellation somewhere in the world).
+const (
+	codeContinue int64 = iota
+	codeStop
+	codeCancelled
+)
+
+// broadcastCode distributes the termination code with a non-blocking
+// broadcast, overlapping with overlap().
+func broadcastCode(comm *mpi.Comm, root int, code int64, overlap func()) (int64, error) {
 	var req *mpi.Request
 	if comm.Rank() == root {
-		req = comm.IBcast(root, mpi.EncodeBool(flag))
+		req = comm.IBcast(root, mpi.EncodeInt64s(nil, []int64{code}))
 	} else {
 		req = comm.IBcast(root, nil)
 	}
@@ -259,9 +289,37 @@ func broadcastFlag(comm *mpi.Comm, root int, flag bool, overlap func()) (bool, e
 	}
 	data, err := req.Wait()
 	if err != nil {
-		return false, err
+		return 0, err
 	}
-	return mpi.DecodeBool(data), nil
+	out := make([]int64, 1)
+	mpi.DecodeInt64s(out, data)
+	return out[0], nil
+}
+
+// stopCode folds the local stopping decision, the local context, and the
+// remotely-gossiped cancellations into the code rank 0 broadcasts.
+func stopCode(stop bool, localErr error, remoteCancelled int64) int64 {
+	switch {
+	case localErr != nil || remoteCancelled > 0:
+		return codeCancelled
+	case stop:
+		return codeStop
+	default:
+		return codeContinue
+	}
+}
+
+// cancelResult translates the termination code into the error each rank
+// returns: the rank's own ctx error when it was cancelled, and
+// ErrRemoteCancelled when the early stop originated elsewhere.
+func cancelResult(ctx context.Context, code int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if code == codeCancelled {
+		return ErrRemoteCancelled
+	}
+	return nil
 }
 
 // finalize converts the aggregated state at rank 0 into a kadabra.Result.

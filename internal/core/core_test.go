@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -34,7 +35,7 @@ func guaranteeCheck(t *testing.T, g *graph.Graph, res *kadabra.Result, eps float
 func TestAlgorithm1SingleProcess(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
-	res, err := RunLocal(g, 1, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 1}}, VariantPureMPI)
+	res, err := RunLocal(context.Background(), g, 1, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 1}}, VariantPureMPI)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestAlgorithm1MultiProcess(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
 	for _, p := range []int{2, 4} {
-		res, err := RunLocal(g, p, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 2}}, VariantPureMPI)
+		res, err := RunLocal(context.Background(), g, p, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 2}}, VariantPureMPI)
 		if err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
@@ -65,7 +66,7 @@ func TestAlgorithm1MultiProcess(t *testing.T) {
 func TestAlgorithm2SingleProcessSingleThread(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
-	res, err := RunLocal(g, 1, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 3}, Threads: 1}, VariantEpoch)
+	res, err := RunLocal(context.Background(), g, 1, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 3}, Threads: 1}, VariantEpoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestAlgorithm2MultiProcessMultiThread(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
 	for _, pc := range []struct{ p, t int }{{1, 4}, {2, 2}, {4, 2}} {
-		res, err := RunLocal(g, pc.p,
+		res, err := RunLocal(context.Background(), g, pc.p,
 			Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 4}, Threads: pc.t}, VariantEpoch)
 		if err != nil {
 			t.Fatalf("p=%d t=%d: %v", pc.p, pc.t, err)
@@ -92,7 +93,7 @@ func TestAlgorithm2Hierarchical(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
 	// 4 processes grouped as 2 "nodes" x 2 "sockets" (paper §IV-E).
-	res, err := RunLocal(g, 4, Config{
+	res, err := RunLocal(context.Background(), g, 4, Config{
 		Config:       kadabra.Config{Eps: eps, Delta: 0.1, Seed: 5},
 		Threads:      2,
 		RanksPerNode: 2,
@@ -107,7 +108,7 @@ func TestAlgorithm2AllStrategies(t *testing.T) {
 	g := testGraph()
 	eps := 0.05
 	for _, s := range []AggStrategy{AggIBarrierReduce, AggIReduce, AggBlocking} {
-		res, err := RunLocal(g, 2, Config{
+		res, err := RunLocal(context.Background(), g, 2, Config{
 			Config:   kadabra.Config{Eps: eps, Delta: 0.1, Seed: 6},
 			Threads:  2,
 			Strategy: s,
@@ -122,7 +123,7 @@ func TestAlgorithm2AllStrategies(t *testing.T) {
 func TestAlgorithm1AllStrategies(t *testing.T) {
 	g := testGraph()
 	for _, s := range []AggStrategy{AggIBarrierReduce, AggIReduce, AggBlocking} {
-		res, err := RunLocal(g, 3, Config{
+		res, err := RunLocal(context.Background(), g, 3, Config{
 			Config:   kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 7},
 			Strategy: s,
 		}, VariantPureMPI)
@@ -141,7 +142,7 @@ func TestAlgorithm2DegenerateStopAfterCalibration(t *testing.T) {
 	b.AddEdge(1, 2)
 	b.AddEdge(2, 3)
 	g := b.Build()
-	res, err := RunLocal(g, 2, Config{
+	res, err := RunLocal(context.Background(), g, 2, Config{
 		Config:  kadabra.Config{Eps: 0.3, Delta: 0.2, Seed: 8, StartFactor: 1},
 		Threads: 2,
 	}, VariantEpoch)
@@ -158,13 +159,13 @@ func TestAlgorithm2DegenerateStopAfterCalibration(t *testing.T) {
 
 func TestAlgorithm2RejectsTinyGraph(t *testing.T) {
 	g := graph.NewBuilder(1).Build()
-	if _, err := RunLocal(g, 1, Config{}, VariantEpoch); err == nil {
+	if _, err := RunLocal(context.Background(), g, 1, Config{}, VariantEpoch); err == nil {
 		t.Fatal("singleton accepted")
 	}
 }
 
 func TestRunLocalRejectsZeroProcs(t *testing.T) {
-	if _, err := RunLocal(testGraph(), 0, Config{}, VariantEpoch); err == nil {
+	if _, err := RunLocal(context.Background(), testGraph(), 0, Config{}, VariantEpoch); err == nil {
 		t.Fatal("0 processes accepted")
 	}
 }
@@ -174,7 +175,7 @@ func TestResultConsistencyAcrossRanks(t *testing.T) {
 	// scores: sum(btilde) * tau must be an integer (total internal-vertex
 	// count), and every score in [0,1].
 	g := testGraph()
-	res, err := RunLocal(g, 3, Config{
+	res, err := RunLocal(context.Background(), g, 3, Config{
 		Config:  kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 9},
 		Threads: 2,
 	}, VariantEpoch)
@@ -212,7 +213,7 @@ func TestAlgorithm2OverTCP(t *testing.T) {
 				return
 			}
 			defer closer.Close()
-			res, err := Algorithm2(g, comm, Config{
+			res, err := Algorithm2(context.Background(), g, comm, Config{
 				Config:  kadabra.Config{Eps: eps, Delta: 0.1, Seed: 10},
 				Threads: 2,
 			})
@@ -255,7 +256,7 @@ func TestTerminationIsPrompt(t *testing.T) {
 	// multiplicative).
 	g := testGraph()
 	for _, p := range []int{1, 2, 4} {
-		res, err := RunLocal(g, p, Config{
+		res, err := RunLocal(context.Background(), g, p, Config{
 			Config:  kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 11},
 			Threads: 2,
 		}, VariantEpoch)
@@ -276,7 +277,7 @@ func TestOnEpochHook(t *testing.T) {
 	g := testGraph()
 	var epochs []int
 	var taus []int64
-	_, err := RunLocal(g, 2, Config{
+	_, err := RunLocal(context.Background(), g, 2, Config{
 		Config:  kadabra.Config{Eps: 0.03, Delta: 0.1, Seed: 21},
 		Threads: 2,
 		OnEpoch: func(e int, tau int64) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -22,7 +23,12 @@ const (
 // procs ranks (each a goroutine group sharing the graph — the analogue of
 // MPI ranks on one machine, where the graph data structure is shared) and
 // returns world rank 0's result.
-func RunLocal(g *graph.Graph, procs int, cfg Config, variant Variant) (*Result, error) {
+//
+// Cancelling ctx stops the run within one epoch: rank 0 folds the
+// cancellation into the termination broadcast, so every rank exits the
+// collective loop cleanly, and RunLocal returns ctx.Err() (wrapped with the
+// failing rank by the mpi layer).
+func RunLocal(ctx context.Context, g *graph.Graph, procs int, cfg Config, variant Variant) (*Result, error) {
 	if procs < 1 {
 		return nil, fmt.Errorf("core: need at least 1 process, got %d", procs)
 	}
@@ -33,9 +39,9 @@ func RunLocal(g *graph.Graph, procs int, cfg Config, variant Variant) (*Result, 
 		var err error
 		switch variant {
 		case VariantPureMPI:
-			res, err = Algorithm1(g, c, cfg)
+			res, err = Algorithm1(ctx, g, c, cfg)
 		default:
-			res, err = Algorithm2(g, c, cfg)
+			res, err = Algorithm2(ctx, g, c, cfg)
 		}
 		if err != nil {
 			return err

@@ -44,6 +44,12 @@ type Config struct {
 	// (0 = exact). The paper uses a sequential diameter algorithm whose
 	// cost shows up in Fig. 2b; the cap trades tightness for speed.
 	DiameterBFSCap int
+	// OnEpoch, when non-nil, is invoked after every epoch aggregation
+	// (SharedMemory) or stopping check (Sequential) with the epoch index
+	// and the consistent sample count. It runs on the coordinator thread
+	// between the stopping check and the next epoch, so it must be cheap;
+	// it exists for progress reporting and convergence tracing.
+	OnEpoch func(epoch int, tau int64)
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.

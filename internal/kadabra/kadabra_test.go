@@ -1,6 +1,7 @@
 package kadabra
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -176,7 +177,7 @@ func testGraph() *graph.Graph {
 func TestSequentialGuarantee(t *testing.T) {
 	g := testGraph()
 	eps := 0.03
-	res, err := Sequential(g, Config{Eps: eps, Delta: 0.1, Seed: 1})
+	res, err := Sequential(context.Background(), g, Config{Eps: eps, Delta: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestSequentialGuarantee(t *testing.T) {
 func TestSequentialDeterminism(t *testing.T) {
 	g := testGraph()
 	cfg := Config{Eps: 0.05, Delta: 0.1, Seed: 7}
-	a, err := Sequential(g, cfg)
+	a, err := Sequential(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sequential(g, cfg)
+	b, err := Sequential(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,11 +216,11 @@ func TestSequentialDeterminism(t *testing.T) {
 
 func TestSequentialStopsEarlierWithLooserEps(t *testing.T) {
 	g := testGraph()
-	tight, err := Sequential(g, Config{Eps: 0.02, Delta: 0.1, Seed: 3})
+	tight, err := Sequential(context.Background(), g, Config{Eps: 0.02, Delta: 0.1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	loose, err := Sequential(g, Config{Eps: 0.1, Delta: 0.1, Seed: 3})
+	loose, err := Sequential(context.Background(), g, Config{Eps: 0.1, Delta: 0.1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestSequentialStopsEarlierWithLooserEps(t *testing.T) {
 }
 
 func TestSequentialRejectsTinyGraph(t *testing.T) {
-	if _, err := Sequential(graph.NewBuilder(1).Build(), Config{}); err == nil {
+	if _, err := Sequential(context.Background(), graph.NewBuilder(1).Build(), Config{}); err == nil {
 		t.Fatal("singleton graph accepted")
 	}
 }
@@ -237,7 +238,7 @@ func TestSequentialRejectsTinyGraph(t *testing.T) {
 func TestSharedMemoryGuarantee(t *testing.T) {
 	g := testGraph()
 	eps := 0.03
-	res, err := SharedMemory(g, 4, Config{Eps: eps, Delta: 0.1, Seed: 2})
+	res, err := SharedMemory(context.Background(), g, 4, Config{Eps: eps, Delta: 0.1, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestSharedMemoryGuarantee(t *testing.T) {
 
 func TestSharedMemorySingleThread(t *testing.T) {
 	g := testGraph()
-	res, err := SharedMemory(g, 1, Config{Eps: 0.05, Delta: 0.1, Seed: 5})
+	res, err := SharedMemory(context.Background(), g, 1, Config{Eps: 0.05, Delta: 0.1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestSharedMemorySingleThread(t *testing.T) {
 func TestSimpleParallelGuarantee(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
-	res, err := SimpleParallel(g, 4, Config{Eps: eps, Delta: 0.1, Seed: 4})
+	res, err := SimpleParallel(context.Background(), g, 4, Config{Eps: eps, Delta: 0.1, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestSimpleParallelGuarantee(t *testing.T) {
 
 func TestResultTopK(t *testing.T) {
 	g := testGraph()
-	res, err := Sequential(g, Config{Eps: 0.03, Delta: 0.1, Seed: 9})
+	res, err := Sequential(context.Background(), g, Config{Eps: 0.03, Delta: 0.1, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestResultTopK(t *testing.T) {
 
 func TestVertexDiameterOverrideSkipsPhase(t *testing.T) {
 	g := testGraph()
-	res, err := Sequential(g, Config{Eps: 0.05, Delta: 0.1, Seed: 1, VertexDiameter: 12})
+	res, err := Sequential(context.Background(), g, Config{Eps: 0.05, Delta: 0.1, Seed: 1, VertexDiameter: 12})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package kadabra
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/bfs"
@@ -12,7 +13,10 @@ import (
 // reference implementation: the parallel variants must produce statistically
 // identical results, and the tests validate the (eps, delta) guarantee
 // against Brandes on this version.
-func Sequential(g *graph.Graph, cfg Config) (*Result, error) {
+//
+// The context is checked between sample batches; when it is cancelled the
+// run stops within one CheckInterval and returns ctx.Err().
+func Sequential(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	if err := validate(g); err != nil {
 		return nil, err
 	}
@@ -21,6 +25,9 @@ func Sequential(g *graph.Graph, cfg Config) (*Result, error) {
 
 	// Phase 1: diameter -> omega.
 	vd, diamTime := resolveVertexDiameter(g, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	omega := Omega(vd, cfg.Eps, cfg.Delta)
 
 	r := rng.NewRand(cfg.Seed)
@@ -44,6 +51,11 @@ func Sequential(g *graph.Graph, cfg Config) (*Result, error) {
 	calStart := time.Now()
 	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
 	for tau < tau0 {
+		if tau%int64(cfg.CheckInterval) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		takeSample()
 	}
 	cal := Calibrate(counts, tau, omega, cfg.Eps, cfg.Delta)
@@ -54,10 +66,16 @@ func Sequential(g *graph.Graph, cfg Config) (*Result, error) {
 	checks := 0
 	var checkTime time.Duration
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cs := time.Now()
 		stop := cal.HaveToStop(counts, tau)
 		checkTime += time.Since(cs)
 		checks++
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(checks, tau)
+		}
 		if stop {
 			break
 		}

@@ -1,6 +1,7 @@
 package kadabra
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,7 +22,11 @@ import (
 // overlapping all coordination with further sampling (paper Alg. 2 with the
 // MPI calls removed). Threads 1..T-1 only sample and poll CheckTransition —
 // they are wait-free.
-func SharedMemory(g *graph.Graph, threads int, cfg Config) (*Result, error) {
+//
+// The context is checked once per epoch on the coordinator (and between
+// calibration batches on every thread); on cancellation the run stops
+// within one epoch and returns ctx.Err().
+func SharedMemory(ctx context.Context, g *graph.Graph, threads int, cfg Config) (*Result, error) {
 	if err := validate(g); err != nil {
 		return nil, err
 	}
@@ -33,6 +38,9 @@ func SharedMemory(g *graph.Graph, threads int, cfg Config) (*Result, error) {
 
 	// Phase 1: diameter.
 	vd, diamTime := resolveVertexDiameter(g, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	omega := Omega(vd, cfg.Eps, cfg.Delta)
 
 	// Per-thread samplers with split RNG streams.
@@ -59,6 +67,9 @@ func SharedMemory(g *graph.Graph, threads int, cfg Config) (*Result, error) {
 				defer wg.Done()
 				local := make([]int64, n)
 				for i := 0; i < per; i++ {
+					if i%256 == 0 && ctx.Err() != nil {
+						break
+					}
 					internal, ok := samplers[t].Sample()
 					taus[t]++
 					if ok {
@@ -71,6 +82,9 @@ func SharedMemory(g *graph.Graph, threads int, cfg Config) (*Result, error) {
 			}(t)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for t := 0; t < threads; t++ {
 			calTau += taus[t]
 			for v, c := range partial[t] {
@@ -128,6 +142,11 @@ func SharedMemory(g *graph.Graph, threads int, cfg Config) (*Result, error) {
 		}
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			done.Store(true)
+			wg.Wait()
+			return nil, err
+		}
 		sf := fw.Frame(0)
 		for i := 0; i < n0; i++ {
 			sampleInto(sf)
@@ -144,6 +163,9 @@ func SharedMemory(g *graph.Graph, threads int, cfg Config) (*Result, error) {
 		cs := time.Now()
 		stop := cal.HaveToStop(S.C, S.Tau)
 		checkTime += time.Since(cs)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epochs, S.Tau)
+		}
 		e++
 		if stop {
 			done.Store(true)
@@ -177,9 +199,8 @@ func SharedMemory(g *graph.Graph, threads int, cfg Config) (*Result, error) {
 // about: all threads take a fixed batch of samples, then a blocking barrier
 // synchronizes everyone, the batches are merged and the stopping condition
 // is checked — with no overlap of sampling and aggregation. It exists as
-// the ablation baseline (experiment A3 in DESIGN.md) demonstrating why the
-// epoch framework is needed.
-func SimpleParallel(g *graph.Graph, threads int, cfg Config) (*Result, error) {
+// the ablation baseline demonstrating why the epoch framework is needed.
+func SimpleParallel(ctx context.Context, g *graph.Graph, threads int, cfg Config) (*Result, error) {
 	if err := validate(g); err != nil {
 		return nil, err
 	}
@@ -189,6 +210,9 @@ func SimpleParallel(g *graph.Graph, threads int, cfg Config) (*Result, error) {
 	}
 	n := g.NumNodes()
 	vd, diamTime := resolveVertexDiameter(g, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	omega := Omega(vd, cfg.Eps, cfg.Delta)
 
 	master := rng.NewRand(cfg.Seed)
@@ -239,6 +263,9 @@ func SimpleParallel(g *graph.Graph, threads int, cfg Config) (*Result, error) {
 	epochs := 0
 	var checkTime time.Duration
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cs := time.Now()
 		stop := cal.HaveToStop(counts, tau)
 		checkTime += time.Since(cs)

@@ -1,6 +1,7 @@
 package kadabra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -100,7 +101,7 @@ func (cal *Calibration) TopKHaveToStop(counts []int64, tau int64, k int, lower, 
 // highest-betweenness vertices. cfg.Eps acts as the resolution limit for
 // tie-breaking (the returned ranking may swap vertices whose true scores
 // differ by less than eps).
-func SequentialTopK(g *graph.Graph, k int, cfg Config) (*TopKResult, error) {
+func SequentialTopK(ctx context.Context, g *graph.Graph, k int, cfg Config) (*TopKResult, error) {
 	if err := validate(g); err != nil {
 		return nil, err
 	}
@@ -111,6 +112,9 @@ func SequentialTopK(g *graph.Graph, k int, cfg Config) (*TopKResult, error) {
 	n := g.NumNodes()
 
 	vd, diamTime := resolveVertexDiameter(g, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	omega := Omega(vd, cfg.Eps, cfg.Delta)
 
 	r := rng.NewRand(cfg.Seed)
@@ -130,6 +134,11 @@ func SequentialTopK(g *graph.Graph, k int, cfg Config) (*TopKResult, error) {
 	calStart := time.Now()
 	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
 	for tau < tau0 {
+		if tau%int64(cfg.CheckInterval) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		takeSample()
 	}
 	cal := Calibrate(counts, tau, omega, cfg.Eps, cfg.Delta)
@@ -141,8 +150,14 @@ func SequentialTopK(g *graph.Graph, k int, cfg Config) (*TopKResult, error) {
 	checks := 0
 	var stop, separated bool
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stop, separated = cal.TopKHaveToStop(counts, tau, k, lower, upper)
 		checks++
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(checks, tau)
+		}
 		if stop {
 			break
 		}

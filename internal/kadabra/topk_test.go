@@ -1,6 +1,7 @@
 package kadabra
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/brandes"
@@ -62,7 +63,7 @@ func TestSequentialTopKStarGraph(t *testing.T) {
 		b.AddEdge(0, graph.Node(i))
 	}
 	g := b.Build()
-	res, err := SequentialTopK(g, 1, Config{Eps: 0.01, Delta: 0.1, Seed: 1})
+	res, err := SequentialTopK(context.Background(), g, 1, Config{Eps: 0.01, Delta: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSequentialTopKStarGraph(t *testing.T) {
 		t.Fatal("star center not separated")
 	}
 	// The separation stop must come far before the uniform-eps stop.
-	uniform, err := Sequential(g, Config{Eps: 0.01, Delta: 0.1, Seed: 1})
+	uniform, err := Sequential(context.Background(), g, Config{Eps: 0.01, Delta: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestSequentialTopKMatchesBrandes(t *testing.T) {
 	g := gen.RMAT(gen.Graph500(8, 8, 31))
 	g, _ = graph.LargestComponent(g)
 	k := 5
-	res, err := SequentialTopK(g, k, Config{Eps: 0.01, Delta: 0.1, Seed: 2})
+	res, err := SequentialTopK(context.Background(), g, k, Config{Eps: 0.01, Delta: 0.1, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,13 +117,13 @@ func TestSequentialTopKMatchesBrandes(t *testing.T) {
 func TestSequentialTopKValidation(t *testing.T) {
 	g := gen.RMAT(gen.Graph500(6, 8, 1))
 	g, _ = graph.LargestComponent(g)
-	if _, err := SequentialTopK(g, 0, Config{}); err == nil {
+	if _, err := SequentialTopK(context.Background(), g, 0, Config{}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := SequentialTopK(g, g.NumNodes(), Config{}); err == nil {
+	if _, err := SequentialTopK(context.Background(), g, g.NumNodes(), Config{}); err == nil {
 		t.Fatal("k=n accepted")
 	}
-	if _, err := SequentialTopK(graph.NewBuilder(1).Build(), 1, Config{}); err == nil {
+	if _, err := SequentialTopK(context.Background(), graph.NewBuilder(1).Build(), 1, Config{}); err == nil {
 		t.Fatal("tiny graph accepted")
 	}
 }
