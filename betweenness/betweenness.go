@@ -21,8 +21,15 @@
 // The diameter phase is the one non-interruptible stretch — cap it with
 // WithDiameterBFSCap or skip it with WithVertexDiameter on large graphs.
 //
+// Directed and weighted graphs are first-class workloads (the paper's
+// footnote 1): EstimateDirected runs on a strongly connected digraph,
+// EstimateWeighted on a connected positively-weighted graph, both with the
+// same options, guarantee, and cancellation semantics, on the Sequential
+// and SharedMemory backends (the DirectedExecutor/WeightedExecutor
+// capability interfaces).
+//
 // Exact ground truth (Brandes' algorithm) and accuracy reports are
-// available via Exact and Compare.
+// available via Exact, ExactDirected, ExactWeighted, and Compare.
 package betweenness
 
 import (

@@ -19,28 +19,137 @@ import (
 // graphs bound it with WithDiameterBFSCap or skip it entirely with
 // WithVertexDiameter.
 func Estimate(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if g == nil {
 		return nil, fmt.Errorf("betweenness: nil graph")
 	}
+	s, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSize(g.NumNodes(), s); err != nil {
+		return nil, err
+	}
+	return runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
+		return s.exec.Execute(ctx, g, s.Params)
+	})
+}
+
+// EstimateDirected approximates directed betweenness centrality on a
+// strongly connected digraph, with the same (epsilon, delta) guarantee,
+// options, and cancellation semantics as Estimate. The sampler walks
+// shortest directed paths (forward over out-arcs, backward over the stored
+// transpose), per the paper's footnote 1.
+//
+// The digraph must be strongly connected — reduce arbitrary inputs with
+// graph.LargestSCC first — because the vertex-diameter bound behind the
+// sample budget is only valid there; EstimateDirected verifies this (one
+// O(V+E) pass) and fails otherwise. Only backends implementing
+// DirectedExecutor are supported: Sequential and SharedMemory.
+// WithTopK derives the ranking from the final estimates (the certified
+// top-k stopping rule remains undirected-only), and WithDiameterBFSCap is
+// a no-op here: the directed diameter phase is already a constant number
+// of BFS sweeps, not the exact computation the cap exists to bound.
+func EstimateDirected(ctx context.Context, g *graph.Digraph, opts ...Option) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("betweenness: nil digraph")
+	}
+	s, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSize(g.NumNodes(), s); err != nil {
+		return nil, err
+	}
+	de, ok := s.exec.(DirectedExecutor)
+	if !ok {
+		return nil, fmt.Errorf(
+			"betweenness: backend %q does not support directed estimation (Sequential and SharedMemory do)",
+			s.exec.Name())
+	}
+	if _, sizes := graph.StronglyConnectedComponents(g); len(sizes) != 1 {
+		return nil, fmt.Errorf(
+			"betweenness: digraph is not strongly connected (%d SCCs); reduce with graph.LargestSCC first",
+			len(sizes))
+	}
+	return runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
+		return de.ExecuteDirected(ctx, g, s.Params)
+	})
+}
+
+// EstimateWeighted approximates betweenness centrality on a connected,
+// positively weighted undirected graph, with the same (epsilon, delta)
+// guarantee, options, and cancellation semantics as Estimate. Shortest
+// paths follow minimum total weight (Dijkstra-based sampling with exact
+// integer distances), per the paper's footnote 1.
+//
+// The graph must be connected — reduce arbitrary inputs with
+// graph.LargestComponentW first — so the vertex-diameter probe behind the
+// sample budget is valid; EstimateWeighted verifies this (one O(V+E) pass)
+// and fails otherwise. Only backends implementing WeightedExecutor are
+// supported: Sequential and SharedMemory. WithTopK derives the ranking
+// from the final estimates, and WithDiameterBFSCap is a no-op here: the
+// weighted diameter phase is already a constant number of Dijkstra probes,
+// not the exact computation the cap exists to bound.
+func EstimateWeighted(ctx context.Context, g *graph.WGraph, opts ...Option) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("betweenness: nil weighted graph")
+	}
+	s, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSize(g.NumNodes(), s); err != nil {
+		return nil, err
+	}
+	we, ok := s.exec.(WeightedExecutor)
+	if !ok {
+		return nil, fmt.Errorf(
+			"betweenness: backend %q does not support weighted estimation (Sequential and SharedMemory do)",
+			s.exec.Name())
+	}
+	if !graph.IsConnected(g.Unweighted()) {
+		return nil, fmt.Errorf(
+			"betweenness: weighted graph is not connected; reduce with graph.LargestComponentW first")
+	}
+	return runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
+		return we.ExecuteWeighted(ctx, g, s.Params)
+	})
+}
+
+// resolveSettings applies the options over the defaults.
+func resolveSettings(opts []Option) (settings, error) {
 	s := defaultSettings()
 	for _, opt := range opts {
 		if opt == nil {
 			continue
 		}
 		if err := opt(&s); err != nil {
-			return nil, err
+			return settings{}, err
 		}
 	}
-	if n := g.NumNodes(); n < 2 {
-		return nil, fmt.Errorf("betweenness: need at least 2 vertices, got %d", n)
-	} else if s.TopK >= n {
-		return nil, fmt.Errorf("betweenness: top-k %d out of range [1, %d)", s.TopK, n)
-	}
+	return s, nil
+}
 
-	res, err := s.exec.Execute(ctx, g, s.Params)
+// checkSize rejects graphs too small to estimate on and out-of-range top-k
+// requests, uniformly across the three front doors.
+func checkSize(n int, s settings) error {
+	if n < 2 {
+		return fmt.Errorf("betweenness: need at least 2 vertices, got %d", n)
+	}
+	if s.TopK >= n {
+		return fmt.Errorf("betweenness: top-k %d out of range [1, %d)", s.TopK, n)
+	}
+	return nil
+}
+
+// runEstimate executes a backend call and applies the shared post-
+// processing: error normalization on cancellation and the uniform top-k
+// surface.
+func runEstimate(ctx context.Context, s settings, exec func(context.Context) (*Result, error)) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := exec(ctx)
 	if err != nil {
 		// Normalize: a cancellation surfaces as the bare ctx error even
 		// when a backend wrapped it (e.g. with the failing MPI rank).

@@ -217,6 +217,9 @@ func TestContextCancelledBeforeStart(t *testing.T) {
 // estimate to abort promptly with ctx.Err() instead of running to
 // completion (acceptance criterion of the public-API issue).
 func TestCancellationStopsSharedMemoryWithinOneEpoch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demanding scale-11 instance; the directed/weighted cancellation tests cover -short")
+	}
 	// A graph and epsilon demanding enough that a full run takes far
 	// longer than the couple of epochs this test allows.
 	g := graph.RMAT(graph.Graph500(11, 8, 3))
@@ -251,6 +254,9 @@ func TestCancellationStopsSharedMemoryWithinOneEpoch(t *testing.T) {
 }
 
 func TestCancellationStopsLocalMPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demanding scale-10 instance; skipped in -short (race CI)")
+	}
 	g := graph.RMAT(graph.Graph500(10, 8, 4))
 	g, _, err := graph.LargestComponent(g)
 	if err != nil {
@@ -351,6 +357,9 @@ func TestTCPBackend(t *testing.T) {
 // cancellation must gossip through the per-epoch aggregation so rank 1
 // returns its own ctx error and rank 0 returns ErrRemoteCancelled.
 func TestTCPRemoteCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demanding scale-11 instance; skipped in -short (race CI)")
+	}
 	g := graph.RMAT(graph.Graph500(11, 8, 8))
 	g, _, err := graph.LargestComponent(g)
 	if err != nil {

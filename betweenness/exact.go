@@ -15,6 +15,21 @@ func Exact(g *graph.Graph, workers int) []float64 {
 	return brandes.Parallel(g, workers)
 }
 
+// ExactDirected computes exact normalized directed betweenness (shortest
+// directed paths, ordered pairs) with the directed Brandes variant,
+// parallelized over sources — the ground truth for EstimateDirected.
+func ExactDirected(g *graph.Digraph, workers int) []float64 {
+	return brandes.ParallelDirected(g, workers)
+}
+
+// ExactWeighted computes exact normalized betweenness on a positively
+// weighted undirected graph (Brandes with Dijkstra searches and exact
+// integer distances), parallelized over sources — the ground truth for
+// EstimateWeighted.
+func ExactWeighted(g *graph.WGraph, workers int) []float64 {
+	return brandes.ParallelWeighted(g, workers)
+}
+
 // TopKOf returns the k highest-scoring vertices of any score vector in
 // descending order (ties broken by vertex ID).
 func TopKOf(scores []float64, k int) []graph.Node {

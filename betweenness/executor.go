@@ -22,6 +22,24 @@ type Executor interface {
 	Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error)
 }
 
+// DirectedExecutor is the capability interface of backends that can run
+// the directed workload (EstimateDirected). Sequential and SharedMemory
+// implement it; the MPI backends do not yet.
+type DirectedExecutor interface {
+	Executor
+	// ExecuteDirected runs the estimation on a strongly connected digraph.
+	ExecuteDirected(ctx context.Context, g *graph.Digraph, p Params) (*Result, error)
+}
+
+// WeightedExecutor is the capability interface of backends that can run
+// the weighted workload (EstimateWeighted). Sequential and SharedMemory
+// implement it; the MPI backends do not yet.
+type WeightedExecutor interface {
+	Executor
+	// ExecuteWeighted runs the estimation on a connected weighted graph.
+	ExecuteWeighted(ctx context.Context, g *graph.WGraph, p Params) (*Result, error)
+}
+
 // ErrRemoteCancelled reports that an MPI-backend run stopped early because
 // another rank's context was cancelled; the local result carries no
 // (eps, delta) guarantee. The rank whose context was cancelled gets its
@@ -73,6 +91,22 @@ func (e seqExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result
 	return fromKadabra(e.Name(), kr), nil
 }
 
+func (e seqExec) ExecuteDirected(ctx context.Context, g *graph.Digraph, p Params) (*Result, error) {
+	kr, err := kadabra.SequentialDirected(ctx, g, p.kadabraConfig())
+	if err != nil {
+		return nil, err
+	}
+	return fromKadabra(e.Name(), kr), nil
+}
+
+func (e seqExec) ExecuteWeighted(ctx context.Context, g *graph.WGraph, p Params) (*Result, error) {
+	kr, err := kadabra.SequentialWeighted(ctx, g, p.kadabraConfig())
+	if err != nil {
+		return nil, err
+	}
+	return fromKadabra(e.Name(), kr), nil
+}
+
 // SharedMemory returns the epoch-based shared-memory backend (the paper's
 // state-of-the-art competitor, its Ref. 24): Params.Threads wait-free
 // sampling threads coordinated by thread 0. This is the default backend.
@@ -84,6 +118,22 @@ func (shmExec) Name() string { return "shared-memory" }
 
 func (e shmExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 	kr, err := kadabra.SharedMemory(ctx, g, p.Threads, p.kadabraConfig())
+	if err != nil {
+		return nil, err
+	}
+	return fromKadabra(e.Name(), kr), nil
+}
+
+func (e shmExec) ExecuteDirected(ctx context.Context, g *graph.Digraph, p Params) (*Result, error) {
+	kr, err := kadabra.SharedMemoryDirected(ctx, g, p.Threads, p.kadabraConfig())
+	if err != nil {
+		return nil, err
+	}
+	return fromKadabra(e.Name(), kr), nil
+}
+
+func (e shmExec) ExecuteWeighted(ctx context.Context, g *graph.WGraph, p Params) (*Result, error) {
+	kr, err := kadabra.SharedMemoryWeighted(ctx, g, p.Threads, p.kadabraConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -8,29 +8,38 @@ import (
 	"repro/graph"
 )
 
-// ParseGenSpec parses "kind:key=val,key=val" generator specs shared by the
-// command-line tools.
-func ParseGenSpec(spec string) (*graph.Graph, error) {
+// parseGenParams splits "kind:key=val,key=val" into the kind and a lookup
+// with defaults.
+func parseGenParams(spec string) (kind string, get func(k string, def int) int, err error) {
 	kind, rest, _ := strings.Cut(spec, ":")
 	params := map[string]int{}
 	if rest != "" {
 		for _, kv := range strings.Split(rest, ",") {
 			k, v, ok := strings.Cut(kv, "=")
 			if !ok {
-				return nil, fmt.Errorf("bad generator parameter %q", kv)
+				return "", nil, fmt.Errorf("bad generator parameter %q", kv)
 			}
 			n, err := strconv.Atoi(v)
 			if err != nil {
-				return nil, fmt.Errorf("bad generator value %q: %v", kv, err)
+				return "", nil, fmt.Errorf("bad generator value %q: %v", kv, err)
 			}
 			params[k] = n
 		}
 	}
-	get := func(k string, def int) int {
+	return kind, func(k string, def int) int {
 		if v, ok := params[k]; ok {
 			return v
 		}
 		return def
+	}, nil
+}
+
+// ParseGenSpec parses "kind:key=val,key=val" generator specs shared by the
+// command-line tools.
+func ParseGenSpec(spec string) (*graph.Graph, error) {
+	kind, get, err := parseGenParams(spec)
+	if err != nil {
+		return nil, err
 	}
 	seed := uint64(get("seed", 1))
 	switch kind {
@@ -51,5 +60,24 @@ func ParseGenSpec(spec string) (*graph.Graph, error) {
 		return graph.BarabasiAlbert(get("n", 10000), get("k", 5), seed), nil
 	default:
 		return nil, fmt.Errorf("unknown generator %q (want rmat|hyp|road|er|ba)", kind)
+	}
+}
+
+// ParseDigraphGenSpec parses directed generator specs: scc:n=..,m=..,seed=..
+// generates a random strongly connected digraph.
+func ParseDigraphGenSpec(spec string) (*graph.Digraph, error) {
+	kind, get, err := parseGenParams(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "scc":
+		n := get("n", 10000)
+		if n < 2 {
+			return nil, fmt.Errorf("scc generator needs n >= 2, got %d", n)
+		}
+		return graph.RandomDigraph(n, get("m", 100000), uint64(get("seed", 1))), nil
+	default:
+		return nil, fmt.Errorf("unknown directed generator %q (want scc:n=..,m=..)", kind)
 	}
 }

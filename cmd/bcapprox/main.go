@@ -14,6 +14,15 @@
 //	             -hosts (comma-separated host:port list, one per rank);
 //	             start one OS process per rank
 //
+// Workloads (paper footnote 1; seq and shm modes only):
+//
+//	-directed    directed betweenness on a digraph: -graph reads an arc
+//	             list ("u v" = u->v), -gen accepts scc:n=..,m=..; the
+//	             largest strongly connected component is used
+//	-weighted    weighted betweenness: -graph reads a weighted edge list
+//	             ("u v w", positive integer weights); with -gen, uniform
+//	             weights in [1, -maxw] are assigned to the generated graph
+//
 // Input is either -graph FILE (text edge list or .bcsr binary) or a
 // generator spec via -gen, e.g.:
 //
@@ -24,15 +33,18 @@
 // on large graphs by precomputing with graphinfo or using a generator
 // with a known small diameter).
 //
-// Example:
+// Examples:
 //
 //	bcapprox -gen rmat:scale=14,ef=16 -eps 0.01 -mode dist -procs 4 -threads 6 -top 10
+//	bcapprox -directed -gen scc:n=100000,m=1000000 -mode shm -threads 8
+//	bcapprox -weighted -gen road:rows=300,cols=300 -maxw 10 -mode shm
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,8 +56,11 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "input graph file (edge list or .bcsr)")
-		genSpec   = flag.String("gen", "", "generator spec, e.g. rmat:scale=14,ef=16")
+		graphPath = flag.String("graph", "", "input graph file (edge list or .bcsr; arc list with -directed; weighted edge list with -weighted)")
+		genSpec   = flag.String("gen", "", "generator spec, e.g. rmat:scale=14,ef=16 (scc:n=..,m=.. with -directed)")
+		directed  = flag.Bool("directed", false, "directed betweenness over shortest directed paths (seq|shm modes)")
+		weighted  = flag.Bool("weighted", false, "weighted betweenness over minimum-weight paths (seq|shm modes)")
+		maxW      = flag.Uint64("maxw", 10, "with -weighted -gen: assign uniform weights in [1, maxw]")
 		eps       = flag.Float64("eps", 0.01, "absolute approximation error")
 		delta     = flag.Float64("delta", 0.1, "failure probability")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
@@ -55,22 +70,16 @@ func main() {
 		ranksPer  = flag.Int("ranks-per-node", 0, "enable hierarchical aggregation with this group size")
 		agg       = flag.String("agg", "ibarrier+reduce", "MPI aggregation: ibarrier+reduce | ireduce | blocking")
 		topK      = flag.Int("top", 10, "print the top-k vertices")
-		certify   = flag.Bool("certify-top", false, "seq mode: use the certified top-k stopping rule")
+		certify   = flag.Bool("certify-top", false, "seq mode: use the certified top-k stopping rule (undirected only)")
 		progress  = flag.Bool("progress", false, "print a progress line per epoch")
 		rank      = flag.Int("rank", -1, "this process's rank (tcp mode)")
 		hosts     = flag.String("hosts", "", "comma-separated host:port per rank (tcp mode)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *genSpec)
-	if err != nil {
-		fatal(err)
+	if *directed && *weighted {
+		fatal(fmt.Errorf("-directed and -weighted are mutually exclusive (weighted digraphs are not supported yet)"))
 	}
-	g, _, err = graph.LargestComponent(g)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("graph: %d nodes, %d edges (largest connected component)\n", g.NumNodes(), g.NumEdges())
 
 	strategy, err := betweenness.ParseAggStrategy(*agg)
 	if err != nil {
@@ -92,8 +101,8 @@ func main() {
 		}))
 	}
 	if *certify {
-		if *mode != "seq" {
-			fatal(fmt.Errorf("-certify-top requires -mode seq (only the sequential backend certifies the ranking)"))
+		if *mode != "seq" || *directed || *weighted {
+			fatal(fmt.Errorf("-certify-top requires -mode seq on an undirected unweighted graph (only that path certifies the ranking)"))
 		}
 		opts = append(opts, betweenness.WithTopK(*topK))
 	}
@@ -116,15 +125,61 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	if (*directed || *weighted) && *mode != "seq" && *mode != "shm" {
+		fatal(fmt.Errorf("-directed/-weighted support -mode seq|shm only (the MPI backends run the undirected sampler)"))
+	}
 	opts = append(opts, betweenness.WithExecutor(exec))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	start := time.Now()
-	res, err := betweenness.Estimate(ctx, g, opts...)
-	if err != nil {
-		fatal(err)
+	var res *betweenness.Result
+	switch {
+	case *directed:
+		g, err := loadDigraph(*graphPath, *genSpec)
+		if err != nil {
+			fatal(err)
+		}
+		g, _ = graph.LargestSCC(g)
+		fmt.Printf("digraph: %d nodes, %d arcs (largest strongly connected component)\n",
+			g.NumNodes(), g.NumArcs())
+		res, err = betweenness.EstimateDirected(ctx, g, opts...)
+		if err != nil {
+			fatal(err)
+		}
+	case *weighted:
+		if *genSpec != "" && (*maxW < 1 || *maxW > math.MaxUint32) {
+			fatal(fmt.Errorf("-maxw must be in [1, %d], got %d", uint64(math.MaxUint32), *maxW))
+		}
+		g, err := loadWGraph(*graphPath, *genSpec, uint32(*maxW), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		g, _, err = graph.LargestComponentW(g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("weighted graph: %d nodes, %d edges (largest connected component)\n",
+			g.NumNodes(), g.NumEdges())
+		res, err = betweenness.EstimateWeighted(ctx, g, opts...)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		g, err := loadGraph(*graphPath, *genSpec)
+		if err != nil {
+			fatal(err)
+		}
+		g, _, err = graph.LargestComponent(g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: %d nodes, %d edges (largest connected component)\n", g.NumNodes(), g.NumEdges())
+		res, err = betweenness.Estimate(ctx, g, opts...)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if res.Estimates == nil {
 		// TCP mode, non-root rank: the result lives at rank 0.
@@ -152,7 +207,7 @@ func main() {
 	}
 }
 
-// loadGraph resolves the -graph/-gen flags.
+// loadGraph resolves the -graph/-gen flags for the undirected path.
 func loadGraph(path, spec string) (*graph.Graph, error) {
 	switch {
 	case path != "" && spec != "":
@@ -163,6 +218,40 @@ func loadGraph(path, spec string) (*graph.Graph, error) {
 		return ParseGenSpec(spec)
 	default:
 		return nil, fmt.Errorf("need -graph FILE or -gen SPEC")
+	}
+}
+
+// loadDigraph resolves the flags for -directed: an arc-list file or the
+// scc:n=..,m=.. generator.
+func loadDigraph(path, spec string) (*graph.Digraph, error) {
+	switch {
+	case path != "" && spec != "":
+		return nil, fmt.Errorf("pass either -graph or -gen, not both")
+	case path != "":
+		return graph.LoadDigraphFile(path)
+	case spec != "":
+		return ParseDigraphGenSpec(spec)
+	default:
+		return nil, fmt.Errorf("need -graph FILE (arc list) or -gen scc:n=..,m=..")
+	}
+}
+
+// loadWGraph resolves the flags for -weighted: a weighted edge-list file,
+// or any undirected generator spec with uniform random weights layered on.
+func loadWGraph(path, spec string, maxW uint32, seed uint64) (*graph.WGraph, error) {
+	switch {
+	case path != "" && spec != "":
+		return nil, fmt.Errorf("pass either -graph or -gen, not both")
+	case path != "":
+		return graph.LoadWGraphFile(path)
+	case spec != "":
+		g, err := ParseGenSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomWeights(g, maxW, seed+0x9E37), nil
+	default:
+		return nil, fmt.Errorf("need -graph FILE (weighted edge list) or -gen SPEC with -maxw")
 	}
 }
 

@@ -1,16 +1,25 @@
 // Command graphgen generates synthetic graphs (the Table-I proxies and the
 // Figure-4 sweep families) and writes them as edge lists or BCSR binaries.
 //
+// -directed generates a random strongly connected digraph (-n vertices,
+// ~-m arcs) written as a text arc list; -weighted assigns every edge of the
+// generated undirected graph a uniform weight in [1, -maxw] and writes a
+// "u v w" edge list — the input formats of bcapprox/bcexact -directed and
+// -weighted.
+//
 // Examples:
 //
 //	graphgen -kind rmat -scale 16 -ef 16 -o twitter-proxy.bcsr
 //	graphgen -kind hyperbolic -n 100000 -deg 30 -o web.txt
 //	graphgen -kind road -rows 500 -cols 500 -o road.txt
+//	graphgen -directed -n 100000 -m 1000000 -o links.txt
+//	graphgen -kind road -rows 300 -cols 300 -weighted -maxw 10 -o roads.txt
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -19,26 +28,45 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "rmat", "rmat | hyperbolic | road | er | ba")
-		scale = flag.Int("scale", 14, "rmat: log2 of node count")
-		ef    = flag.Int("ef", 16, "rmat: edges per vertex")
-		n     = flag.Int("n", 100000, "hyperbolic/er/ba: node count")
-		deg   = flag.Float64("deg", 30, "hyperbolic: average degree")
-		gamma = flag.Float64("gamma", 3, "hyperbolic: power-law exponent")
-		rows  = flag.Int("rows", 300, "road: lattice rows")
-		cols  = flag.Int("cols", 300, "road: lattice columns")
-		m     = flag.Int("m", 1000000, "er: edge count")
-		k     = flag.Int("k", 5, "ba: edges per new vertex")
-		seed  = flag.Uint64("seed", 1, "RNG seed")
-		out   = flag.String("o", "", "output path (.bcsr for binary, else edge list)")
-		lcc   = flag.Bool("lcc", false, "keep only the largest connected component")
+		kind     = flag.String("kind", "rmat", "rmat | hyperbolic | road | er | ba")
+		scale    = flag.Int("scale", 14, "rmat: log2 of node count")
+		ef       = flag.Int("ef", 16, "rmat: edges per vertex")
+		n        = flag.Int("n", 100000, "hyperbolic/er/ba/directed: node count")
+		deg      = flag.Float64("deg", 30, "hyperbolic: average degree")
+		gamma    = flag.Float64("gamma", 3, "hyperbolic: power-law exponent")
+		rows     = flag.Int("rows", 300, "road: lattice rows")
+		cols     = flag.Int("cols", 300, "road: lattice columns")
+		m        = flag.Int("m", 1000000, "er/directed: edge (arc) count")
+		k        = flag.Int("k", 5, "ba: edges per new vertex")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		out      = flag.String("o", "", "output path (.bcsr for binary, else edge list)")
+		lcc      = flag.Bool("lcc", false, "keep only the largest connected component")
+		directed = flag.Bool("directed", false, "generate a random strongly connected digraph (-n, -m) as an arc list")
+		weighted = flag.Bool("weighted", false, "assign uniform weights in [1, -maxw] and write a weighted edge list")
+		maxW     = flag.Uint64("maxw", 10, "with -weighted: maximum edge weight")
 	)
 	flag.Parse()
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "graphgen: need -o FILE")
-		os.Exit(1)
+		fatal(fmt.Errorf("need -o FILE"))
+	}
+	if *directed && *weighted {
+		fatal(fmt.Errorf("-directed and -weighted are mutually exclusive"))
 	}
 	start := time.Now()
+
+	if *directed {
+		if *n < 2 {
+			fatal(fmt.Errorf("-directed needs -n >= 2, got %d", *n))
+		}
+		g := graph.RandomDigraph(*n, *m, *seed)
+		if err := graph.SaveDigraphFile(*out, g); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d nodes, %d arcs, strongly connected (%v)\n",
+			*out, g.NumNodes(), g.NumArcs(), time.Since(start).Round(time.Millisecond))
+		return
+	}
+
 	var g *graph.Graph
 	switch *kind {
 	case "rmat":
@@ -52,21 +80,37 @@ func main() {
 	case "ba":
 		g = graph.BarabasiAlbert(*n, *k, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}
 	if *lcc {
 		var err error
 		g, _, err = graph.LargestComponent(g)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphgen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+
+	if *weighted {
+		if *maxW < 1 || *maxW > math.MaxUint32 {
+			fatal(fmt.Errorf("-maxw must be in [1, %d], got %d", uint64(math.MaxUint32), *maxW))
+		}
+		wg := graph.RandomWeights(g, uint32(*maxW), *seed+0x9E37)
+		if err := graph.SaveWGraphFile(*out, wg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d nodes, %d weighted edges, weights in [1, %d] (%v)\n",
+			*out, wg.NumNodes(), wg.NumEdges(), *maxW, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
 	if err := graph.SaveFile(*out, g); err != nil {
-		fmt.Fprintln(os.Stderr, "graphgen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("wrote %s: %d nodes, %d edges (%v)\n",
 		*out, g.NumNodes(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
 }

@@ -4,12 +4,20 @@
 //
 // The public API lives in two root packages:
 //
-//   - repro/betweenness — one entry point, betweenness.Estimate(ctx, g,
-//     opts...), with functional options and pluggable execution backends
-//     (Sequential, SharedMemory, LocalMPI, PureMPI, TCP), plus exact
-//     Brandes ground truth and accuracy reports.
-//   - repro/graph — the CSR graph type, builder, file loaders, diameter
-//     routines, and the synthetic generators behind the paper's Table I.
+//   - repro/betweenness — three entry points sharing one option set:
+//     betweenness.Estimate(ctx, g, opts...) for undirected graphs,
+//     EstimateDirected for strongly connected digraphs, and
+//     EstimateWeighted for positively weighted graphs (the paper's
+//     footnote-1 scenarios), with pluggable execution backends
+//     (Sequential, SharedMemory, LocalMPI, PureMPI, TCP; the directed
+//     and weighted workloads run on the first two), plus exact Brandes
+//     ground truth (Exact, ExactDirected, ExactWeighted) and accuracy
+//     reports.
+//   - repro/graph — the CSR graph types (Graph, Digraph, WGraph),
+//     builder, file loaders (edge lists, arc lists, weighted edge
+//     lists, BCSR binaries), connectivity and diameter routines, and
+//     the synthetic generators behind the paper's Table I plus
+//     RandomDigraph/RandomWeights for the new workloads.
 //
 // The algorithm implementations live under internal/ and are reached only
 // through the public packages; executables are under cmd/ (bcapprox,

@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+// FuzzReadEdgeList drives all three text parsers (undirected edge lists,
+// directed arc lists, weighted edge lists) with arbitrary input, asserting
+// that no input panics, that every successfully parsed graph satisfies its
+// structural invariants, and that writing and re-reading preserves the
+// graph up to the dense renumbering the readers perform (checked via
+// isomorphism-invariant summaries: edge/arc counts, degree sequences, and
+// the weight multiset).
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"))
+	f.Add([]byte("# comment\n% comment\n10 20\n20 30\n"))
+	f.Add([]byte("0 1 5\n1 2 3\n2 0 1\n"))
+	f.Add([]byte("7 7\n"))
+	f.Add([]byte("1 2 -3\n"))
+	f.Add([]byte("0 1 0\n"))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte("  3   4   \n\n5 3\n"))
+	f.Add([]byte("18446744073709551615 0\n"))
+	f.Add([]byte("0 1 4294967296\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if g, err := ReadEdgeList(bytes.NewReader(data)); err == nil {
+			checkUndirectedRoundTrip(t, g)
+		}
+		if dg, err := ReadArcList(bytes.NewReader(data)); err == nil {
+			checkDirectedRoundTrip(t, dg)
+		}
+		if wg, err := ReadWeightedEdgeList(bytes.NewReader(data)); err == nil {
+			checkWeightedRoundTrip(t, wg)
+		}
+	})
+}
+
+func checkUndirectedRoundTrip(t *testing.T, g *Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("parsed graph fails Validate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	back, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading our own output: %v", err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed edge count: %d -> %d", g.NumEdges(), back.NumEdges())
+	}
+	// The reader drops vertices that appear in no surviving edge (e.g.
+	// self-loop-only IDs), so compare degree sequences over the rest.
+	degs := func(g *Graph) []int {
+		var d []int
+		for v := 0; v < g.NumNodes(); v++ {
+			if n := g.Degree(Node(v)); n > 0 {
+				d = append(d, n)
+			}
+		}
+		sort.Ints(d)
+		return d
+	}
+	if !equalInts(degs(g), degs(back)) {
+		t.Fatal("round trip changed the degree sequence")
+	}
+}
+
+func checkDirectedRoundTrip(t *testing.T, g *Digraph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("parsed digraph fails Validate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteArcList(&buf, g); err != nil {
+		t.Fatalf("WriteArcList: %v", err)
+	}
+	back, err := ReadArcList(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading our own output: %v", err)
+	}
+	if back.NumArcs() != g.NumArcs() {
+		t.Fatalf("round trip changed arc count: %d -> %d", g.NumArcs(), back.NumArcs())
+	}
+	degs := func(g *Digraph, out bool) []int {
+		var d []int
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.OutDegree(Node(v))+g.InDegree(Node(v)) == 0 {
+				continue // dropped by the reader's renumbering
+			}
+			if out {
+				d = append(d, g.OutDegree(Node(v)))
+			} else {
+				d = append(d, g.InDegree(Node(v)))
+			}
+		}
+		sort.Ints(d)
+		return d
+	}
+	if !equalInts(degs(g, true), degs(back, true)) {
+		t.Fatal("round trip changed the out-degree sequence")
+	}
+	if !equalInts(degs(g, false), degs(back, false)) {
+		t.Fatal("round trip changed the in-degree sequence")
+	}
+}
+
+func checkWeightedRoundTrip(t *testing.T, g *WGraph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("parsed weighted graph fails Validate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWeightedEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteWeightedEdgeList: %v", err)
+	}
+	back, err := ReadWeightedEdgeList(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading our own output: %v", err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed edge count: %d -> %d", g.NumEdges(), back.NumEdges())
+	}
+	weights := func(g *WGraph) []int {
+		var ws []int
+		for v := 0; v < g.NumNodes(); v++ {
+			adj, w := g.Neighbors(Node(v))
+			for i, u := range adj {
+				if Node(v) < u {
+					ws = append(ws, int(w[i]))
+				}
+			}
+		}
+		sort.Ints(ws)
+		return ws
+	}
+	if !equalInts(weights(g), weights(back)) {
+		t.Fatal("round trip changed the weight multiset")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

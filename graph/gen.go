@@ -41,3 +41,15 @@ func ErdosRenyi(n, m int, seed uint64) *Graph { return gen.ErdosRenyi(n, m, seed
 // BarabasiAlbert generates a preferential-attachment graph where every new
 // vertex attaches k edges.
 func BarabasiAlbert(n, k int, seed uint64) *Graph { return gen.BarabasiAlbert(n, k, seed) }
+
+// RandomDigraph generates a random strongly connected digraph on n vertices
+// with approximately m arcs (a random Hamiltonian cycle guarantees strong
+// connectivity; the remaining arcs are uniform).
+func RandomDigraph(n, m int, seed uint64) *Digraph { return gen.RandomDigraph(n, m, seed) }
+
+// RandomWeights assigns every edge of g an independent uniform integer
+// weight in [1, maxWeight], turning any generator's output into a weighted
+// instance. The topology is unchanged.
+func RandomWeights(g *Graph, maxWeight uint32, seed uint64) *WGraph {
+	return gen.RandomWeights(g, maxWeight, seed)
+}

@@ -81,6 +81,23 @@ func LargestComponent(g *Graph) (*Graph, map[Node]Node, error) {
 	return lcc, remap, nil
 }
 
+// LargestComponentW is the weighted analogue of LargestComponent: it
+// returns the induced weighted subgraph on the largest connected component
+// (weights carried over) and the old-to-new vertex ID mapping, failing on
+// degenerate inputs under the same rules.
+func LargestComponentW(g *WGraph) (*WGraph, map[Node]Node, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, nil, fmt.Errorf("graph: largest component of an empty graph")
+	}
+	lcc, remap := igraph.LargestComponentW(g)
+	if lcc.NumNodes() < 2 {
+		return nil, nil, fmt.Errorf(
+			"graph: largest connected component has %d vertices (need >= 2); the input has no edges",
+			lcc.NumNodes())
+	}
+	return lcc, remap, nil
+}
+
 // StronglyConnectedComponents labels every vertex of a digraph with its
 // SCC index and returns the SCC sizes.
 func StronglyConnectedComponents(g *Digraph) (labels []int32, sizes []int) {

@@ -26,3 +26,31 @@ func ReadBinary(r io.Reader) (*Graph, error) { return igraph.ReadBinary(r) }
 
 // WriteBinary writes g in the BCSR binary format.
 func WriteBinary(w io.Writer, g *Graph) error { return igraph.WriteBinary(w, g) }
+
+// ReadArcList parses a directed text arc list: one "u v" arc per line
+// meaning u -> v, with the same comment and renumbering conventions as
+// ReadEdgeList. Self loops and duplicate arcs are dropped.
+func ReadArcList(r io.Reader) (*Digraph, error) { return igraph.ReadArcList(r) }
+
+// WriteArcList writes g as a directed text arc list, one arc per line.
+func WriteArcList(w io.Writer, g *Digraph) error { return igraph.WriteArcList(w, g) }
+
+// ReadWeightedEdgeList parses a weighted text edge list: one "u v weight"
+// line per undirected edge, weights positive integers below 2^32. Duplicate
+// edges keep the minimum weight; zero or negative weights are rejected.
+func ReadWeightedEdgeList(r io.Reader) (*WGraph, error) { return igraph.ReadWeightedEdgeList(r) }
+
+// WriteWeightedEdgeList writes g as a weighted text edge list.
+func WriteWeightedEdgeList(w io.Writer, g *WGraph) error { return igraph.WriteWeightedEdgeList(w, g) }
+
+// LoadDigraphFile reads a directed arc list from path.
+func LoadDigraphFile(path string) (*Digraph, error) { return igraph.LoadDigraphFile(path) }
+
+// SaveDigraphFile writes a digraph to path as a text arc list.
+func SaveDigraphFile(path string, g *Digraph) error { return igraph.SaveDigraphFile(path, g) }
+
+// LoadWGraphFile reads a weighted edge list from path.
+func LoadWGraphFile(path string) (*WGraph, error) { return igraph.LoadWGraphFile(path) }
+
+// SaveWGraphFile writes a weighted graph to path as a text edge list.
+func SaveWGraphFile(path string, g *WGraph) error { return igraph.SaveWGraphFile(path, g) }

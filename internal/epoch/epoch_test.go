@@ -145,6 +145,9 @@ func TestNoLostSamplesUnderConcurrency(t *testing.T) {
 // the coordinator while transitions are being completed before new ones are
 // forced (the precondition the two-frame reuse relies on).
 func TestEpochSkewBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second statistical bound; skipped in -short (race CI)")
+	}
 	const T = 4
 	f := New(T, 1)
 	var stop atomic.Bool

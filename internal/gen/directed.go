@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Generators for the directed and weighted estimation scenarios (paper
+// footnote 1): a random strongly connected digraph and a weight-assigning
+// wrapper that upgrades any undirected generator's output to a weighted
+// instance. Both are deterministic given a seed.
+
+// RandomDigraph generates a random strongly connected digraph on n vertices
+// with approximately m arcs: a Hamiltonian cycle through a random vertex
+// permutation guarantees strong connectivity, and m-n additional uniform
+// random arcs are layered on top (self loops and duplicates are dropped, so
+// the realized arc count can be slightly below m).
+func RandomDigraph(n, m int, seed uint64) *graph.Digraph {
+	if n < 2 {
+		panic("gen: RandomDigraph needs at least 2 vertices")
+	}
+	r := rng.NewRand(seed)
+	perm := make([]int, n)
+	r.Perm(perm)
+	arcs := make([][2]graph.Node, 0, m)
+	for i := 0; i < n; i++ {
+		arcs = append(arcs, [2]graph.Node{graph.Node(perm[i]), graph.Node(perm[(i+1)%n])})
+	}
+	for len(arcs) < m {
+		arcs = append(arcs, [2]graph.Node{graph.Node(r.Intn(n)), graph.Node(r.Intn(n))})
+	}
+	return graph.FromArcs(n, arcs)
+}
+
+// RandomWeights assigns every edge of g an independent uniform weight in
+// [1, maxWeight], turning any generator's output into a weighted instance
+// (e.g. a perturbed road lattice with travel times). The topology is
+// unchanged.
+func RandomWeights(g *graph.Graph, maxWeight uint32, seed uint64) *graph.WGraph {
+	if maxWeight < 1 {
+		panic("gen: RandomWeights needs maxWeight >= 1")
+	}
+	r := rng.NewRand(seed)
+	edges := make([]graph.WeightedEdge, 0, g.NumEdges())
+	g.ForEdges(func(u, v graph.Node) {
+		edges = append(edges, graph.WeightedEdge{
+			U: u, V: v, W: uint32(r.Uint64n(uint64(maxWeight))) + 1,
+		})
+	})
+	wg, err := graph.FromWeightedEdges(g.NumNodes(), edges)
+	if err != nil {
+		// Edges come from a valid Graph and weights are >= 1.
+		panic("gen: RandomWeights: " + err.Error())
+	}
+	return wg
+}

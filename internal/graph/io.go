@@ -21,40 +21,24 @@ import (
 // ReadEdgeList parses a SNAP/KONECT-style text edge list. IDs found in the
 // file are densely renumbered in order of first appearance.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	ids := make(map[uint64]Node)
+	ids := make(interner)
 	var edges [][2]Node
-	intern := func(raw uint64) Node {
-		if id, ok := ids[raw]; ok {
-			return id
-		}
-		id := Node(len(ids))
-		ids[raw] = id
-		return id
-	}
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || text[0] == '#' || text[0] == '%' {
-			continue
-		}
-		fields := strings.Fields(text)
+	err := lineScanner(r, func(line int, fields []string) error {
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", line, text)
+			return fmt.Errorf("graph: line %d: want at least 2 fields, got %d", line, len(fields))
 		}
 		u, err := strconv.ParseUint(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			return fmt.Errorf("graph: line %d: %v", line, err)
 		}
 		v, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			return fmt.Errorf("graph: line %d: %v", line, err)
 		}
-		edges = append(edges, [2]Node{intern(u), intern(v)})
-	}
-	if err := sc.Err(); err != nil {
+		edges = append(edges, [2]Node{ids.intern(u), ids.intern(v)})
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return FromEdges(len(ids), edges), nil

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Directed arc lists and weighted edge lists, the text interchange formats
+// behind the directed/weighted estimation paths. Both follow the same
+// SNAP/KONECT conventions as the undirected reader: whitespace-separated
+// fields, '#' and '%' comment lines, vertex IDs densely renumbered in order
+// of first appearance.
+
+// lineScanner wraps the shared scanning/comment-skipping loop of the text
+// readers: fn receives the 1-based line number and the non-comment fields.
+func lineScanner(r io.Reader, fn func(line int, fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		if err := fn(line, strings.Fields(text)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// interner densely renumbers raw vertex IDs in order of first appearance.
+type interner map[uint64]Node
+
+func (ids interner) intern(raw uint64) Node {
+	if id, ok := ids[raw]; ok {
+		return id
+	}
+	id := Node(len(ids))
+	ids[raw] = id
+	return id
+}
+
+// ReadArcList parses a directed text arc list: one "u v" arc per line,
+// meaning u -> v. Self loops and duplicate arcs are dropped by FromArcs.
+func ReadArcList(r io.Reader) (*Digraph, error) {
+	ids := make(interner)
+	var arcs [][2]Node
+	err := lineScanner(r, func(line int, fields []string) error {
+		if len(fields) < 2 {
+			return fmt.Errorf("graph: line %d: want at least 2 fields, got %d", line, len(fields))
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		arcs = append(arcs, [2]Node{ids.intern(u), ids.intern(v)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromArcs(len(ids), arcs), nil
+}
+
+// WriteArcList writes g as a directed text arc list, one "u v" arc per line.
+func WriteArcList(w io.Writer, g *Digraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# directed graph: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Successors(Node(v)) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeightedEdgeList parses a weighted undirected text edge list: one
+// "u v w" edge per line with a positive integer weight. Negative, zero,
+// fractional, or missing weights are rejected; duplicate edges keep the
+// minimum weight (FromWeightedEdges semantics).
+func ReadWeightedEdgeList(r io.Reader) (*WGraph, error) {
+	ids := make(interner)
+	var edges []WeightedEdge
+	err := lineScanner(r, func(line int, fields []string) error {
+		if len(fields) < 3 {
+			return fmt.Errorf("graph: line %d: want \"u v weight\", got %d fields", line, len(fields))
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		wt, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return fmt.Errorf("graph: line %d: weight %q must be a positive integer < 2^32: %v",
+				line, fields[2], err)
+		}
+		if wt == 0 {
+			return fmt.Errorf("graph: line %d: zero-weight edge", line)
+		}
+		edges = append(edges, WeightedEdge{U: ids.intern(u), V: ids.intern(v), W: uint32(wt)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromWeightedEdges(len(ids), edges)
+}
+
+// WriteWeightedEdgeList writes g as a weighted text edge list, one
+// "u v weight" line per undirected edge.
+func WriteWeightedEdgeList(w io.Writer, g *WGraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# weighted undirected graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		adj, ws := g.Neighbors(Node(v))
+		for i, u := range adj {
+			if Node(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d %d\n", v, u, ws[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadDigraphFile reads a directed arc list from path.
+func LoadDigraphFile(path string) (*Digraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadArcList(f)
+}
+
+// SaveDigraphFile writes a digraph to path as a text arc list.
+func SaveDigraphFile(path string, g *Digraph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteArcList(f, g)
+}
+
+// LoadWGraphFile reads a weighted edge list from path.
+func LoadWGraphFile(path string) (*WGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadWeightedEdgeList(f)
+}
+
+// SaveWGraphFile writes a weighted graph to path as a text edge list.
+func SaveWGraphFile(path string, g *WGraph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteWeightedEdgeList(f, g)
+}

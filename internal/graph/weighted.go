@@ -115,6 +115,52 @@ func FromWeightedEdges(n int, edges []WeightedEdge) (*WGraph, error) {
 	return g, nil
 }
 
+// LargestComponentW returns the induced weighted subgraph on the largest
+// connected component of g (weights carried over), with the old->new vertex
+// mapping — the weighted analogue of LargestComponent, mirroring the
+// paper's §V-A preprocessing for the weighted estimation path.
+func LargestComponentW(g *WGraph) (*WGraph, map[Node]Node) {
+	labels, sizes := ConnectedComponents(g.Unweighted())
+	if len(sizes) <= 1 {
+		remap := make(map[Node]Node, g.NumNodes())
+		for v := 0; v < g.NumNodes(); v++ {
+			remap[Node(v)] = Node(v)
+		}
+		return g, remap
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	remap := make(map[Node]Node, sizes[best])
+	for v, l := range labels {
+		if l == int32(best) {
+			remap[Node(v)] = Node(len(remap))
+		}
+	}
+	var edges []WeightedEdge
+	for v := 0; v < g.NumNodes(); v++ {
+		nv, ok := remap[Node(v)]
+		if !ok {
+			continue
+		}
+		adj, ws := g.Neighbors(Node(v))
+		for i, u := range adj {
+			if Node(v) < u {
+				edges = append(edges, WeightedEdge{U: nv, V: remap[u], W: ws[i]})
+			}
+		}
+	}
+	sub, err := FromWeightedEdges(len(remap), edges)
+	if err != nil {
+		// The edges come from a valid WGraph: in range, positive weights.
+		panic("graph: LargestComponentW: " + err.Error())
+	}
+	return sub, remap
+}
+
 // Unweighted returns the underlying topology with weights forgotten.
 func (g *WGraph) Unweighted() *Graph {
 	return &Graph{Offsets: g.Offsets, Adj: g.Adj}

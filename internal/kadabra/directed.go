@@ -1,12 +1,10 @@
 package kadabra
 
 import (
-	"fmt"
-	"time"
+	"context"
 
 	"repro/internal/bfs"
 	"repro/internal/graph"
-	"repro/internal/rng"
 )
 
 // Directed-graph support, per the paper's footnote 1: "The parallelization
@@ -87,72 +85,23 @@ func DirectedVertexDiameter(g *graph.Digraph) int {
 
 // SequentialDirected runs sequential KADABRA on a strongly connected
 // digraph. cfg.VertexDiameter may be set to skip the bound computation.
-func SequentialDirected(g *graph.Digraph, cfg Config) (*Result, error) {
-	if g.NumNodes() < 2 {
-		return nil, fmt.Errorf("kadabra: need at least 2 vertices, got %d", g.NumNodes())
+// Cancellation and the OnEpoch hook behave exactly as in Sequential.
+func SequentialDirected(ctx context.Context, g *graph.Digraph, cfg Config) (*Result, error) {
+	w := directedWorkload(g)
+	if err := validateWorkload(w); err != nil {
+		return nil, err
 	}
-	cfg = cfg.withDefaults()
-	n := g.NumNodes()
+	return runSequential(ctx, w, cfg)
+}
 
-	var vd int
-	var diamTime time.Duration
-	if cfg.VertexDiameter > 0 {
-		vd = cfg.VertexDiameter
-	} else {
-		start := time.Now()
-		vd = DirectedVertexDiameter(g)
-		diamTime = time.Since(start)
+// SharedMemoryDirected runs the epoch-based shared-memory parallelization
+// on a strongly connected digraph — the paper's footnote-1 claim made
+// concrete: the epoch framework is untouched, only the sampling kernel
+// each thread runs is the directed one.
+func SharedMemoryDirected(ctx context.Context, g *graph.Digraph, threads int, cfg Config) (*Result, error) {
+	w := directedWorkload(g)
+	if err := validateWorkload(w); err != nil {
+		return nil, err
 	}
-	omega := Omega(vd, cfg.Eps, cfg.Delta)
-
-	sampler := bfs.NewDirectedSampler(g, rng.NewRand(cfg.Seed))
-	counts := make([]int64, n)
-	var tau int64
-	takeSample := func() {
-		internal, ok := sampler.Sample()
-		tau++
-		if ok {
-			for _, v := range internal {
-				counts[v]++
-			}
-		}
-	}
-
-	calStart := time.Now()
-	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
-	for tau < tau0 {
-		takeSample()
-	}
-	cal := Calibrate(counts, tau, omega, cfg.Eps, cfg.Delta)
-	calTime := time.Since(calStart)
-
-	samplingStart := time.Now()
-	checks := 0
-	for {
-		checks++
-		if cal.HaveToStop(counts, tau) {
-			break
-		}
-		for i := 0; i < cfg.CheckInterval && float64(tau) < omega; i++ {
-			takeSample()
-		}
-	}
-	samplingTime := time.Since(samplingStart)
-
-	bt := make([]float64, n)
-	for v, c := range counts {
-		bt[v] = float64(c) / float64(tau)
-	}
-	return &Result{
-		Betweenness:    bt,
-		Tau:            tau,
-		Omega:          omega,
-		VertexDiameter: vd,
-		Epochs:         checks,
-		Timings: Timings{
-			Diameter:    diamTime,
-			Calibration: calTime,
-			Sampling:    samplingTime,
-		},
-	}, nil
+	return runSharedMemory(ctx, w, threads, cfg)
 }

@@ -1,6 +1,7 @@
 package kadabra
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestDirectedVertexDiameterIsUpperBound(t *testing.T) {
 func TestSequentialDirectedGuarantee(t *testing.T) {
 	g := stronglyConnectedDigraph(3, 150, 900)
 	eps := 0.03
-	res, err := SequentialDirected(g, Config{Eps: eps, Delta: 0.1, Seed: 1})
+	res, err := SequentialDirected(context.Background(), g, Config{Eps: eps, Delta: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +81,11 @@ func TestSequentialDirectedAsymmetry(t *testing.T) {
 	// undirected view would distribute differently. Just verify scores are
 	// sane and deterministic.
 	g := stronglyConnectedDigraph(5, 80, 80)
-	a, err := SequentialDirected(g, Config{Eps: 0.05, Delta: 0.1, Seed: 9})
+	a, err := SequentialDirected(context.Background(), g, Config{Eps: 0.05, Delta: 0.1, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SequentialDirected(g, Config{Eps: 0.05, Delta: 0.1, Seed: 9})
+	b, err := SequentialDirected(context.Background(), g, Config{Eps: 0.05, Delta: 0.1, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestSequentialDirectedAsymmetry(t *testing.T) {
 }
 
 func TestSequentialDirectedRejectsTiny(t *testing.T) {
-	if _, err := SequentialDirected(graph.FromArcs(1, nil), Config{}); err == nil {
+	if _, err := SequentialDirected(context.Background(), graph.FromArcs(1, nil), Config{}); err == nil {
 		t.Fatal("tiny digraph accepted")
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/diameter"
 	"repro/internal/graph"
 )
 
@@ -147,20 +146,11 @@ func sortByScoreDesc(idx []graph.Node, scores []float64) {
 	})
 }
 
-// resolveVertexDiameter runs phase 1 (or uses the precomputed override).
+// resolveVertexDiameter runs phase 1 (or uses the precomputed override);
+// the override/cap/timing logic lives in resolveWorkloadDiameter so the
+// workload-based and classic entry points cannot drift apart.
 func resolveVertexDiameter(g *graph.Graph, cfg Config) (int, time.Duration) {
-	if cfg.VertexDiameter > 0 {
-		return cfg.VertexDiameter, 0
-	}
-	start := time.Now()
-	var vd int
-	if cfg.DiameterBFSCap > 0 {
-		d, _ := diameter.IFUB(g, cfg.DiameterBFSCap)
-		vd = int(d) + 1
-	} else {
-		vd = diameter.VertexDiameter(g)
-	}
-	return vd, time.Since(start)
+	return resolveWorkloadDiameter(undirectedWorkload(g), cfg)
 }
 
 // validate rejects graphs the estimator cannot work with.

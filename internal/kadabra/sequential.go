@@ -4,7 +4,6 @@ import (
 	"context"
 	"time"
 
-	"repro/internal/bfs"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -20,18 +19,26 @@ func Sequential(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error
 	if err := validate(g); err != nil {
 		return nil, err
 	}
+	return runSequential(ctx, undirectedWorkload(g), cfg)
+}
+
+// runSequential is the generic single-threaded driver shared by the
+// undirected, directed, and weighted scenarios: only the sampling kernel and
+// the phase-1 bound differ per workload; the statistical machinery (omega,
+// calibration, the adaptive stopping rule), cancellation, and the OnEpoch
+// hook are workload-agnostic.
+func runSequential(ctx context.Context, w workload, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	n := g.NumNodes()
+	n := w.n
 
 	// Phase 1: diameter -> omega.
-	vd, diamTime := resolveVertexDiameter(g, cfg)
+	vd, diamTime := resolveWorkloadDiameter(w, cfg)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	omega := Omega(vd, cfg.Eps, cfg.Delta)
 
-	r := rng.NewRand(cfg.Seed)
-	sampler := bfs.NewSampler(g, r)
+	sampler := w.newSampler(rng.NewRand(cfg.Seed))
 	counts := make([]int64, n)
 	var tau int64
 

@@ -30,14 +30,22 @@ func SharedMemory(ctx context.Context, g *graph.Graph, threads int, cfg Config) 
 	if err := validate(g); err != nil {
 		return nil, err
 	}
+	return runSharedMemory(ctx, undirectedWorkload(g), threads, cfg)
+}
+
+// runSharedMemory is the generic epoch-based driver shared by the
+// undirected, directed, and weighted scenarios (see workload.go): the epoch
+// framework, cancellation, and the OnEpoch hook are workload-agnostic; only
+// the sampling kernel each thread runs differs.
+func runSharedMemory(ctx context.Context, w workload, threads int, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	n := g.NumNodes()
+	n := w.n
 
 	// Phase 1: diameter.
-	vd, diamTime := resolveVertexDiameter(g, cfg)
+	vd, diamTime := resolveWorkloadDiameter(w, cfg)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -45,9 +53,9 @@ func SharedMemory(ctx context.Context, g *graph.Graph, threads int, cfg Config) 
 
 	// Per-thread samplers with split RNG streams.
 	master := rng.NewRand(cfg.Seed)
-	samplers := make([]*bfs.Sampler, threads)
+	samplers := make([]sampler, threads)
 	for i := range samplers {
-		samplers[i] = bfs.NewSampler(g, master.Split())
+		samplers[i] = w.newSampler(master.Split())
 	}
 
 	// Phase 2: calibration — pleasingly parallel fixed-size sampling

@@ -1,8 +1,7 @@
 package kadabra
 
 import (
-	"fmt"
-	"time"
+	"context"
 
 	"repro/internal/bfs"
 	"repro/internal/graph"
@@ -72,73 +71,23 @@ func maxDegreeW(g *graph.WGraph) graph.Node {
 }
 
 // SequentialWeighted runs sequential KADABRA on a positively weighted
-// connected graph.
-func SequentialWeighted(g *graph.WGraph, cfg Config) (*Result, error) {
-	if g.NumNodes() < 2 {
-		return nil, fmt.Errorf("kadabra: need at least 2 vertices, got %d", g.NumNodes())
+// connected graph. Cancellation and the OnEpoch hook behave exactly as in
+// Sequential.
+func SequentialWeighted(ctx context.Context, g *graph.WGraph, cfg Config) (*Result, error) {
+	w := weightedWorkload(g)
+	if err := validateWorkload(w); err != nil {
+		return nil, err
 	}
-	cfg = cfg.withDefaults()
-	n := g.NumNodes()
+	return runSequential(ctx, w, cfg)
+}
 
-	var vd int
-	var diamTime time.Duration
-	if cfg.VertexDiameter > 0 {
-		vd = cfg.VertexDiameter
-	} else {
-		start := time.Now()
-		vd = WeightedVertexDiameter(g, cfg.Seed+0xABCD)
-		diamTime = time.Since(start)
+// SharedMemoryWeighted runs the epoch-based shared-memory parallelization
+// on a positively weighted connected graph: the epoch framework is
+// untouched, only the sampling kernel each thread runs is Dijkstra-based.
+func SharedMemoryWeighted(ctx context.Context, g *graph.WGraph, threads int, cfg Config) (*Result, error) {
+	w := weightedWorkload(g)
+	if err := validateWorkload(w); err != nil {
+		return nil, err
 	}
-	omega := Omega(vd, cfg.Eps, cfg.Delta)
-
-	sampler := bfs.NewWeightedSampler(g, rng.NewRand(cfg.Seed))
-	counts := make([]int64, n)
-	var tau int64
-	takeSample := func() {
-		internal, ok := sampler.Sample()
-		tau++
-		if ok {
-			for _, v := range internal {
-				counts[v]++
-			}
-		}
-	}
-
-	calStart := time.Now()
-	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
-	for tau < tau0 {
-		takeSample()
-	}
-	cal := Calibrate(counts, tau, omega, cfg.Eps, cfg.Delta)
-	calTime := time.Since(calStart)
-
-	samplingStart := time.Now()
-	checks := 0
-	for {
-		checks++
-		if cal.HaveToStop(counts, tau) {
-			break
-		}
-		for i := 0; i < cfg.CheckInterval && float64(tau) < omega; i++ {
-			takeSample()
-		}
-	}
-	samplingTime := time.Since(samplingStart)
-
-	bt := make([]float64, n)
-	for v, c := range counts {
-		bt[v] = float64(c) / float64(tau)
-	}
-	return &Result{
-		Betweenness:    bt,
-		Tau:            tau,
-		Omega:          omega,
-		VertexDiameter: vd,
-		Epochs:         checks,
-		Timings: Timings{
-			Diameter:    diamTime,
-			Calibration: calTime,
-			Sampling:    samplingTime,
-		},
-	}, nil
+	return runSharedMemory(ctx, w, threads, cfg)
 }

@@ -1,6 +1,7 @@
 package kadabra
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -151,7 +152,7 @@ func TestParallelWeightedMatchesSequential(t *testing.T) {
 func TestSequentialWeightedGuarantee(t *testing.T) {
 	g := connectedWeighted(11, 120, 500, 8)
 	eps := 0.03
-	res, err := SequentialWeighted(g, Config{Eps: eps, Delta: 0.1, Seed: 1})
+	res, err := SequentialWeighted(context.Background(), g, Config{Eps: eps, Delta: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestSequentialWeightedRejectsTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SequentialWeighted(g, Config{}); err == nil {
+	if _, err := SequentialWeighted(context.Background(), g, Config{}); err == nil {
 		t.Fatal("tiny weighted graph accepted")
 	}
 }

@@ -1,0 +1,108 @@
+package kadabra
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/diameter"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// This file is the workload abstraction behind every single-process KADABRA
+// variant. The paper's footnote 1 observes that the parallelization applies
+// unchanged to directed and weighted graphs once the sampling kernel is
+// swapped; the abstraction makes that literal: a workload bundles the two
+// graph-dependent ingredients — the per-thread path sampler and the phase-1
+// vertex-diameter bound — and the generic drivers (runSequential,
+// runSharedMemory) carry the statistical machinery, context cancellation,
+// and the OnEpoch progress hook for all of them.
+
+// sampler is the per-thread sampling kernel: one call draws a uniform
+// random vertex pair and a uniform shortest path between them, returning
+// the path's internal vertices (ok=false when the pair is unreachable; the
+// sample still counts toward tau).
+type sampler interface {
+	Sample() (internal []graph.Node, ok bool)
+}
+
+// workload is one estimation scenario over a fixed graph.
+type workload struct {
+	// n is the number of vertices.
+	n int
+	// newSampler builds an independent sampling kernel over the graph; each
+	// sampling thread gets its own kernel with a split RNG stream.
+	newSampler func(r *rng.Rand) sampler
+	// vertexDiameter computes the phase-1 vertex-diameter bound (only
+	// called when cfg.VertexDiameter does not override it).
+	vertexDiameter func(cfg Config) int
+}
+
+// undirectedWorkload wraps the paper's standard scenario: bidirectional BFS
+// sampling on an undirected graph. This is the one workload whose exact
+// diameter phase can dominate, so it honours cfg.DiameterBFSCap; the
+// directed/weighted bounds below are already constant-sweep heuristics.
+func undirectedWorkload(g *graph.Graph) workload {
+	return workload{
+		n: g.NumNodes(),
+		newSampler: func(r *rng.Rand) sampler {
+			return bfs.NewSampler(g, r)
+		},
+		vertexDiameter: func(cfg Config) int {
+			if cfg.DiameterBFSCap > 0 {
+				d, _ := diameter.IFUB(g, cfg.DiameterBFSCap)
+				return int(d) + 1
+			}
+			return diameter.VertexDiameter(g)
+		},
+	}
+}
+
+// directedWorkload swaps in the bidirectional sampler over out-arcs and the
+// stored transpose. The digraph must be strongly connected (graph.LargestSCC)
+// for the vertex-diameter bound to be valid.
+func directedWorkload(g *graph.Digraph) workload {
+	return workload{
+		n: g.NumNodes(),
+		newSampler: func(r *rng.Rand) sampler {
+			return bfs.NewDirectedSampler(g, r)
+		},
+		vertexDiameter: func(cfg Config) int {
+			return DirectedVertexDiameter(g)
+		},
+	}
+}
+
+// weightedWorkload swaps in the Dijkstra-based sampler. The graph must be
+// connected with positive weights.
+func weightedWorkload(g *graph.WGraph) workload {
+	return workload{
+		n: g.NumNodes(),
+		newSampler: func(r *rng.Rand) sampler {
+			return bfs.NewWeightedSampler(g, r)
+		},
+		vertexDiameter: func(cfg Config) int {
+			return WeightedVertexDiameter(g, cfg.Seed+0xABCD)
+		},
+	}
+}
+
+// resolveWorkloadDiameter runs phase 1 for a workload (or uses the
+// precomputed override), mirroring resolveVertexDiameter.
+func resolveWorkloadDiameter(w workload, cfg Config) (int, time.Duration) {
+	if cfg.VertexDiameter > 0 {
+		return cfg.VertexDiameter, 0
+	}
+	start := time.Now()
+	vd := w.vertexDiameter(cfg)
+	return vd, time.Since(start)
+}
+
+// validateWorkload rejects graphs the estimator cannot work with.
+func validateWorkload(w workload) error {
+	if w.n < 2 {
+		return fmt.Errorf("kadabra: need at least 2 vertices, got %d", w.n)
+	}
+	return nil
+}
