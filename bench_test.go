@@ -228,7 +228,7 @@ func BenchmarkAblationAggregation(b *testing.B) {
 		s := s
 		b.Run(s.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunLocal(context.Background(), g, 4, core.Config{
+				res, err := core.RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 4, core.Config{
 					Config:   benchCfg(0.01, 6),
 					Threads:  2,
 					Strategy: s,
@@ -343,7 +343,7 @@ func BenchmarkRealDistributedProcs(b *testing.B) {
 		procs := procs
 		b.Run(procLabel(procs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunLocal(context.Background(), g, procs, core.Config{
+				res, err := core.RunLocal(context.Background(), kadabra.UndirectedWorkload(g), procs, core.Config{
 					Config:  benchCfg(0.008, 13),
 					Threads: 4,
 				}, core.VariantEpoch)

@@ -22,11 +22,14 @@
 // WithDiameterBFSCap or skip it with WithVertexDiameter on large graphs.
 //
 // Directed and weighted graphs are first-class workloads (the paper's
-// footnote 1): EstimateDirected runs on a strongly connected digraph,
-// EstimateWeighted on a connected positively-weighted graph, both with the
-// same options, guarantee, and cancellation semantics, on the Sequential
-// and SharedMemory backends (the DirectedExecutor/WeightedExecutor
-// capability interfaces).
+// footnote 1): the Undirected, Directed, and Weighted constructors produce
+// tagged Workload values carrying their validation rule, sampling kernel,
+// and vertex-diameter resolver, and the generic front door
+// EstimateWorkload(ctx, w, opts...) runs any of them on any backend —
+// Estimate, EstimateDirected, and EstimateWeighted are thin wrappers over
+// it. Every built-in backend reports Capabilities() covering all three
+// kinds; dispatching a workload to a backend that cannot run it fails
+// fast with ErrUnsupportedWorkload.
 //
 // Exact ground truth (Brandes' algorithm) and accuracy reports are
 // available via Exact, ExactDirected, ExactWeighted, and Compare.

@@ -8,9 +8,42 @@ import (
 	"repro/graph"
 )
 
+// EstimateWorkload is the workload-generic front door: it approximates the
+// betweenness centrality of every vertex of the workload's graph with the
+// KADABRA adaptive-sampling algorithm — with probability 1-delta, every
+// estimate is within epsilon of the true (normalized) betweenness — on any
+// backend whose Capabilities list the workload's kind. All five built-in
+// backends run all three workloads, so the full workload x backend matrix
+// is valid; a custom Executor with narrower capabilities is rejected with
+// ErrUnsupportedWorkload (test with errors.Is) before any work starts.
+//
+// The workload's validation rule (strong connectivity for Directed,
+// connectivity for Weighted — one O(V+E) pass each) runs after option
+// resolution and before the backend starts. Estimate, EstimateDirected,
+// and EstimateWeighted are thin wrappers over this function.
+func EstimateWorkload(ctx context.Context, w Workload, opts ...Option) (*Result, error) {
+	if err := w.err; err != nil {
+		return nil, err
+	}
+	s, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSize(w.n, s); err != nil {
+		return nil, err
+	}
+	if err := w.checkRunnable(s.exec); err != nil {
+		return nil, err
+	}
+	return runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
+		return s.exec.Run(ctx, w, s.Params)
+	})
+}
+
 // Estimate approximates the betweenness centrality of every vertex of g
 // with the KADABRA adaptive-sampling algorithm: with probability 1-delta,
 // every estimate is within epsilon of the true (normalized) betweenness.
+// It is shorthand for EstimateWorkload(ctx, Undirected(g), opts...).
 //
 // The defaults are epsilon 0.01, delta 0.1, seed 1, and the SharedMemory
 // backend with one sampling thread per CPU core; options override them.
@@ -19,101 +52,46 @@ import (
 // graphs bound it with WithDiameterBFSCap or skip it entirely with
 // WithVertexDiameter.
 func Estimate(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
-	if g == nil {
-		return nil, fmt.Errorf("betweenness: nil graph")
-	}
-	s, err := resolveSettings(opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := checkSize(g.NumNodes(), s); err != nil {
-		return nil, err
-	}
-	return runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
-		return s.exec.Execute(ctx, g, s.Params)
-	})
+	return EstimateWorkload(ctx, Undirected(g), opts...)
 }
 
 // EstimateDirected approximates directed betweenness centrality on a
 // strongly connected digraph, with the same (epsilon, delta) guarantee,
 // options, and cancellation semantics as Estimate. The sampler walks
 // shortest directed paths (forward over out-arcs, backward over the stored
-// transpose), per the paper's footnote 1.
+// transpose), per the paper's footnote 1. It is shorthand for
+// EstimateWorkload(ctx, Directed(g), opts...).
 //
 // The digraph must be strongly connected — reduce arbitrary inputs with
 // graph.LargestSCC first — because the vertex-diameter bound behind the
-// sample budget is only valid there; EstimateDirected verifies this (one
-// O(V+E) pass) and fails otherwise. Only backends implementing
-// DirectedExecutor are supported: Sequential and SharedMemory.
+// sample budget is only valid there; the workload's validation rule
+// verifies this (one O(V+E) pass) and fails otherwise. Every built-in
+// backend supports the directed workload, including the MPI and TCP ones.
 // WithTopK derives the ranking from the final estimates (the certified
 // top-k stopping rule remains undirected-only), and WithDiameterBFSCap is
 // a no-op here: the directed diameter phase is already a constant number
 // of BFS sweeps, not the exact computation the cap exists to bound.
 func EstimateDirected(ctx context.Context, g *graph.Digraph, opts ...Option) (*Result, error) {
-	if g == nil {
-		return nil, fmt.Errorf("betweenness: nil digraph")
-	}
-	s, err := resolveSettings(opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := checkSize(g.NumNodes(), s); err != nil {
-		return nil, err
-	}
-	de, ok := s.exec.(DirectedExecutor)
-	if !ok {
-		return nil, fmt.Errorf(
-			"betweenness: backend %q does not support directed estimation (Sequential and SharedMemory do)",
-			s.exec.Name())
-	}
-	if _, sizes := graph.StronglyConnectedComponents(g); len(sizes) != 1 {
-		return nil, fmt.Errorf(
-			"betweenness: digraph is not strongly connected (%d SCCs); reduce with graph.LargestSCC first",
-			len(sizes))
-	}
-	return runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
-		return de.ExecuteDirected(ctx, g, s.Params)
-	})
+	return EstimateWorkload(ctx, Directed(g), opts...)
 }
 
 // EstimateWeighted approximates betweenness centrality on a connected,
 // positively weighted undirected graph, with the same (epsilon, delta)
 // guarantee, options, and cancellation semantics as Estimate. Shortest
 // paths follow minimum total weight (Dijkstra-based sampling with exact
-// integer distances), per the paper's footnote 1.
+// integer distances), per the paper's footnote 1. It is shorthand for
+// EstimateWorkload(ctx, Weighted(g), opts...).
 //
 // The graph must be connected — reduce arbitrary inputs with
 // graph.LargestComponentW first — so the vertex-diameter probe behind the
-// sample budget is valid; EstimateWeighted verifies this (one O(V+E) pass)
-// and fails otherwise. Only backends implementing WeightedExecutor are
-// supported: Sequential and SharedMemory. WithTopK derives the ranking
-// from the final estimates, and WithDiameterBFSCap is a no-op here: the
-// weighted diameter phase is already a constant number of Dijkstra probes,
-// not the exact computation the cap exists to bound.
+// sample budget is valid; the workload's validation rule verifies this
+// (one O(V+E) pass) and fails otherwise. Every built-in backend supports
+// the weighted workload, including the MPI and TCP ones. WithTopK derives
+// the ranking from the final estimates, and WithDiameterBFSCap is a no-op
+// here: the weighted diameter phase is already a constant number of
+// Dijkstra probes, not the exact computation the cap exists to bound.
 func EstimateWeighted(ctx context.Context, g *graph.WGraph, opts ...Option) (*Result, error) {
-	if g == nil {
-		return nil, fmt.Errorf("betweenness: nil weighted graph")
-	}
-	s, err := resolveSettings(opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := checkSize(g.NumNodes(), s); err != nil {
-		return nil, err
-	}
-	we, ok := s.exec.(WeightedExecutor)
-	if !ok {
-		return nil, fmt.Errorf(
-			"betweenness: backend %q does not support weighted estimation (Sequential and SharedMemory do)",
-			s.exec.Name())
-	}
-	if !graph.IsConnected(g.Unweighted()) {
-		return nil, fmt.Errorf(
-			"betweenness: weighted graph is not connected; reduce with graph.LargestComponentW first")
-	}
-	return runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
-		return we.ExecuteWeighted(ctx, g, s.Params)
-	})
+	return EstimateWorkload(ctx, Weighted(g), opts...)
 }
 
 // resolveSettings applies the options over the defaults.
@@ -131,7 +109,7 @@ func resolveSettings(opts []Option) (settings, error) {
 }
 
 // checkSize rejects graphs too small to estimate on and out-of-range top-k
-// requests, uniformly across the three front doors.
+// requests, uniformly across the front doors.
 func checkSize(n int, s settings) error {
 	if n < 2 {
 		return fmt.Errorf("betweenness: need at least 2 vertices, got %d", n)

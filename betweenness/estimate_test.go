@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"math"
-	"net"
 	"sync"
 	"testing"
 	"time"
@@ -301,19 +300,7 @@ func TestProgressSnapshots(t *testing.T) {
 // 1 gets statistics only.
 func TestTCPBackend(t *testing.T) {
 	g := testGraph(t)
-	addrs := make([]string, 2)
-	lns := make([]net.Listener, 2)
-	for i := range addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		lns[i] = ln
-		addrs[i] = ln.Addr().String()
-	}
-	for _, ln := range lns {
-		ln.Close()
-	}
+	addrs := tcpWorld(t, 2)
 
 	results := make([]*Result, 2)
 	errs := make([]error, 2)
@@ -365,19 +352,7 @@ func TestTCPRemoteCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrs := make([]string, 2)
-	lns := make([]net.Listener, 2)
-	for i := range addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		lns[i] = ln
-		addrs[i] = ln.Addr().String()
-	}
-	for _, ln := range lns {
-		ln.Close()
-	}
+	addrs := tcpWorld(t, 2)
 
 	rank1Ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
 	defer cancel()

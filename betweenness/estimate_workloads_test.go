@@ -45,7 +45,10 @@ func sccCoreWithDAGFringe(core, fringe int) *graph.Digraph {
 			arcs = append(arcs, [2]graph.Node{graph.Node(i), graph.Node(i + 1)})
 		}
 	}
-	g, _ := graph.LargestSCC(graph.FromArcs(n, arcs))
+	g, _, err := graph.LargestSCC(graph.FromArcs(n, arcs))
+	if err != nil {
+		panic(err)
+	}
 	return g
 }
 
@@ -307,18 +310,34 @@ func TestDirectedWeightedRejectDegenerateInputs(t *testing.T) {
 	}
 }
 
-// TestDirectedWeightedBackendDispatch: only Sequential and SharedMemory
-// implement the directed/weighted capability interfaces; the MPI backends
-// must be rejected with a clear error rather than mis-running.
+// TestDirectedWeightedBackendDispatch: since the workload-generic executor
+// contract, the MPI backends run the directed and weighted workloads too —
+// dispatching them must succeed and satisfy the (eps, delta) guarantee,
+// not error out as before the redesign.
 func TestDirectedWeightedBackendDispatch(t *testing.T) {
-	dg := directedCycle(10)
-	wg := weightedGrid(t, 3, 3, 4)
-	for _, exec := range []Executor{LocalMPI(2), PureMPI(2), TCP(0, []string{"localhost:1"})} {
-		if _, err := EstimateDirected(context.Background(), dg, WithExecutor(exec)); err == nil {
-			t.Errorf("%s: EstimateDirected accepted an unsupported backend", exec.Name())
+	dg := sccCoreWithDAGFringe(30, 20)
+	wg := weightedGrid(t, 6, 6, 4)
+	dexact, wexact := ExactDirected(dg, 0), ExactWeighted(wg, 0)
+	const eps = 0.05
+	for _, exec := range []Executor{LocalMPI(2), PureMPI(2)} {
+		dres, err := EstimateDirected(context.Background(), dg,
+			WithEpsilon(eps), WithSeed(3), WithThreads(2), WithExecutor(exec))
+		if err != nil {
+			t.Fatalf("%s: EstimateDirected: %v", exec.Name(), err)
 		}
-		if _, err := EstimateWeighted(context.Background(), wg, WithExecutor(exec)); err == nil {
-			t.Errorf("%s: EstimateWeighted accepted an unsupported backend", exec.Name())
+		if rep := Compare(dexact, dres.Estimates, eps); rep.MaxAbs > eps {
+			t.Errorf("%s directed: max abs error %.4f exceeds eps (tau=%d)", exec.Name(), rep.MaxAbs, dres.Tau)
+		}
+		if dres.Distributed == nil {
+			t.Errorf("%s directed: missing distributed stats", exec.Name())
+		}
+		wres, err := EstimateWeighted(context.Background(), wg,
+			WithEpsilon(eps), WithSeed(3), WithThreads(2), WithExecutor(exec))
+		if err != nil {
+			t.Fatalf("%s: EstimateWeighted: %v", exec.Name(), err)
+		}
+		if rep := Compare(wexact, wres.Estimates, eps); rep.MaxAbs > eps {
+			t.Errorf("%s weighted: max abs error %.4f exceeds eps (tau=%d)", exec.Name(), rep.MaxAbs, wres.Tau)
 		}
 	}
 	// Invalid options must fail on the new front doors exactly as on
@@ -445,5 +464,26 @@ func TestDirectedProgressSnapshots(t *testing.T) {
 		if snaps[i].Epoch <= snaps[i-1].Epoch || snaps[i].Tau < snaps[i-1].Tau {
 			t.Fatalf("snapshots not monotone: %+v -> %+v", snaps[i-1], snaps[i])
 		}
+	}
+}
+
+// TestDirectRunEnforcesValidation: a direct Executor.Run call (bypassing
+// EstimateWorkload) must still apply the workload's admission rule, or the
+// (eps, delta) guarantee would be silently void.
+func TestDirectRunEnforcesValidation(t *testing.T) {
+	path := graph.FromArcs(3, [][2]graph.Node{{0, 1}, {1, 2}})
+	for _, exec := range []Executor{Sequential(), SharedMemory(), LocalMPI(2), PureMPI(2)} {
+		if _, err := exec.Run(context.Background(), Directed(path), Params{}); err == nil {
+			t.Errorf("%s: direct Run accepted a non-strongly-connected digraph", exec.Name())
+		}
+	}
+	disc, err := graph.FromWeightedEdges(4, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sequential().Run(context.Background(), Weighted(disc), Params{}); err == nil {
+		t.Error("direct Run accepted a disconnected weighted graph")
 	}
 }

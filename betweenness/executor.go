@@ -5,39 +5,34 @@ import (
 	"fmt"
 	"time"
 
-	"repro/graph"
 	"repro/internal/core"
 	"repro/internal/kadabra"
 	"repro/internal/mpi"
 )
 
-// Executor is a pluggable execution backend. Implementations receive the
-// resolved Params and must honour ctx cancellation by returning ctx.Err()
-// within one epoch of the sampling loop (the diameter phase may run to
-// completion first; see Estimate).
+// Executor is a pluggable execution backend speaking the workload-generic
+// contract: Run receives a tagged Workload (undirected, directed, or
+// weighted) plus the resolved Params and must honour ctx cancellation by
+// returning ctx.Err() within one epoch of the sampling loop (the diameter
+// phase may run to completion first; see Estimate).
+//
+// Capabilities lists the workload kinds the backend can run;
+// EstimateWorkload rejects any other kind with ErrUnsupportedWorkload
+// before Run is invoked. All five built-in backends (Sequential,
+// SharedMemory, LocalMPI, PureMPI, TCP) support all three kinds.
 type Executor interface {
 	// Name identifies the backend (recorded in Result.Backend).
 	Name() string
-	// Execute runs the estimation on g with the resolved parameters.
-	Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error)
+	// Capabilities returns the workload kinds this backend supports.
+	Capabilities() []WorkloadKind
+	// Run executes the estimation for the workload with the resolved
+	// parameters.
+	Run(ctx context.Context, w Workload, p Params) (*Result, error)
 }
 
-// DirectedExecutor is the capability interface of backends that can run
-// the directed workload (EstimateDirected). Sequential and SharedMemory
-// implement it; the MPI backends do not yet.
-type DirectedExecutor interface {
-	Executor
-	// ExecuteDirected runs the estimation on a strongly connected digraph.
-	ExecuteDirected(ctx context.Context, g *graph.Digraph, p Params) (*Result, error)
-}
-
-// WeightedExecutor is the capability interface of backends that can run
-// the weighted workload (EstimateWeighted). Sequential and SharedMemory
-// implement it; the MPI backends do not yet.
-type WeightedExecutor interface {
-	Executor
-	// ExecuteWeighted runs the estimation on a connected weighted graph.
-	ExecuteWeighted(ctx context.Context, g *graph.WGraph, p Params) (*Result, error)
+// allWorkloadKinds is the capability set of every built-in backend.
+func allWorkloadKinds() []WorkloadKind {
+	return []WorkloadKind{WorkloadUndirected, WorkloadDirected, WorkloadWeighted}
 }
 
 // ErrRemoteCancelled reports that an MPI-backend run stopped early because
@@ -63,17 +58,25 @@ func (p Params) coreConfig() core.Config {
 }
 
 // Sequential returns the single-threaded reference backend. It is the only
-// backend with a certified top-k mode (see WithTopK).
+// backend with a certified top-k mode (see WithTopK; undirected workload
+// only — the other workloads derive the ranking from the final estimates).
 func Sequential() Executor { return seqExec{} }
 
 type seqExec struct{}
 
 func (seqExec) Name() string { return "sequential" }
 
-func (e seqExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
+func (seqExec) Capabilities() []WorkloadKind { return allWorkloadKinds() }
+
+func (e seqExec) Run(ctx context.Context, w Workload, p Params) (*Result, error) {
+	if err := w.checkRunnable(e); err != nil {
+		return nil, err
+	}
 	cfg := p.kadabraConfig()
-	if p.TopK > 0 {
-		tr, err := kadabra.SequentialTopK(ctx, g, p.TopK, cfg)
+	if w.kind == WorkloadUndirected && p.TopK > 0 {
+		// The certified top-k stopping rule is specific to the undirected
+		// scenario; the generic driver below serves every other case.
+		tr, err := kadabra.SequentialTopK(ctx, w.undirected, p.TopK, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -84,23 +87,7 @@ func (e seqExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result
 		res.Separated = tr.Separated
 		return res, nil
 	}
-	kr, err := kadabra.Sequential(ctx, g, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return fromKadabra(e.Name(), kr), nil
-}
-
-func (e seqExec) ExecuteDirected(ctx context.Context, g *graph.Digraph, p Params) (*Result, error) {
-	kr, err := kadabra.SequentialDirected(ctx, g, p.kadabraConfig())
-	if err != nil {
-		return nil, err
-	}
-	return fromKadabra(e.Name(), kr), nil
-}
-
-func (e seqExec) ExecuteWeighted(ctx context.Context, g *graph.WGraph, p Params) (*Result, error) {
-	kr, err := kadabra.SequentialWeighted(ctx, g, p.kadabraConfig())
+	kr, err := kadabra.SequentialWorkload(ctx, w.inner, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -116,24 +103,13 @@ type shmExec struct{}
 
 func (shmExec) Name() string { return "shared-memory" }
 
-func (e shmExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
-	kr, err := kadabra.SharedMemory(ctx, g, p.Threads, p.kadabraConfig())
-	if err != nil {
+func (shmExec) Capabilities() []WorkloadKind { return allWorkloadKinds() }
+
+func (e shmExec) Run(ctx context.Context, w Workload, p Params) (*Result, error) {
+	if err := w.checkRunnable(e); err != nil {
 		return nil, err
 	}
-	return fromKadabra(e.Name(), kr), nil
-}
-
-func (e shmExec) ExecuteDirected(ctx context.Context, g *graph.Digraph, p Params) (*Result, error) {
-	kr, err := kadabra.SharedMemoryDirected(ctx, g, p.Threads, p.kadabraConfig())
-	if err != nil {
-		return nil, err
-	}
-	return fromKadabra(e.Name(), kr), nil
-}
-
-func (e shmExec) ExecuteWeighted(ctx context.Context, g *graph.WGraph, p Params) (*Result, error) {
-	kr, err := kadabra.SharedMemoryWeighted(ctx, g, p.Threads, p.kadabraConfig())
+	kr, err := kadabra.SharedMemoryWorkload(ctx, w.inner, p.Threads, p.kadabraConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -163,11 +139,16 @@ type localExec struct {
 
 func (e localExec) Name() string { return e.name }
 
-func (e localExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
+func (localExec) Capabilities() []WorkloadKind { return allWorkloadKinds() }
+
+func (e localExec) Run(ctx context.Context, w Workload, p Params) (*Result, error) {
+	if err := w.checkRunnable(e); err != nil {
+		return nil, err
+	}
 	if e.procs < 1 {
 		return nil, fmt.Errorf("betweenness: %s backend needs at least 1 process, got %d", e.name, e.procs)
 	}
-	cr, err := core.RunLocal(ctx, g, e.procs, p.coreConfig(), e.variant)
+	cr, err := core.RunLocal(ctx, w.inner, e.procs, p.coreConfig(), e.variant)
 	if err != nil {
 		return nil, err
 	}
@@ -177,9 +158,10 @@ func (e localExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Resu
 // TCP returns a genuinely distributed backend: this process joins a TCP
 // world as the given rank (hosts lists one host:port per rank, identical
 // on every rank) and runs Algorithm 2 collectively with the other ranks.
-// Every rank must call Estimate with a structurally identical graph and
-// equal parameters. Only rank 0's Result carries the estimates; the other
-// ranks return Estimates == nil.
+// Every rank must call Estimate (or EstimateWorkload) with a structurally
+// identical graph, the same workload kind, and equal parameters. Only rank
+// 0's Result carries the estimates; the other ranks return
+// Estimates == nil.
 //
 // Cancelling the context on any rank stops every rank within about one
 // epoch: the cancelled rank returns its ctx.Err(), the others
@@ -196,7 +178,12 @@ type tcpExec struct {
 
 func (tcpExec) Name() string { return "tcp" }
 
-func (e tcpExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
+func (tcpExec) Capabilities() []WorkloadKind { return allWorkloadKinds() }
+
+func (e tcpExec) Run(ctx context.Context, w Workload, p Params) (*Result, error) {
+	if err := w.checkRunnable(e); err != nil {
+		return nil, err
+	}
 	if e.rank < 0 || e.rank >= len(e.hosts) {
 		return nil, fmt.Errorf("betweenness: tcp rank %d out of range for %d hosts", e.rank, len(e.hosts))
 	}
@@ -205,7 +192,7 @@ func (e tcpExec) Execute(ctx context.Context, g *graph.Graph, p Params) (*Result
 		return nil, fmt.Errorf("betweenness: tcp connect: %w", err)
 	}
 	defer closer.Close()
-	cr, algErr := core.Algorithm2(ctx, g, comm, p.coreConfig())
+	cr, algErr := core.Algorithm2(ctx, w.inner, comm, p.coreConfig())
 	// Final barrier: no rank may tear down its connections while peers are
 	// still draining collectives.
 	if berr := comm.Barrier(); algErr == nil && berr != nil {

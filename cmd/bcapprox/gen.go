@@ -76,7 +76,11 @@ func ParseDigraphGenSpec(spec string) (*graph.Digraph, error) {
 		if n < 2 {
 			return nil, fmt.Errorf("scc generator needs n >= 2, got %d", n)
 		}
-		return graph.RandomDigraph(n, get("m", 100000), uint64(get("seed", 1))), nil
+		m := get("m", 100000)
+		if m < 0 {
+			return nil, fmt.Errorf("scc generator needs m >= 0, got %d", m)
+		}
+		return graph.RandomDigraph(n, m, uint64(get("seed", 1))), nil
 	default:
 		return nil, fmt.Errorf("unknown directed generator %q (want scc:n=..,m=..)", kind)
 	}

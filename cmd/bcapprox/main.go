@@ -2,19 +2,23 @@
 // family of algorithms reproduced in this repository, through the public
 // repro/betweenness API.
 //
-// Modes (execution backends):
+// Backends (any backend runs any workload):
 //
-//	-mode seq    sequential KADABRA (certified top-k with -certify-top)
-//	-mode shm    shared-memory epoch-based parallelization (the paper's
-//	             baseline, Ref. 24)
-//	-mode dist   epoch-based MPI parallelization (paper Algorithm 2) over
-//	             -procs in-process ranks
-//	-mode alg1   pure-MPI parallelization (paper Algorithm 1)
-//	-mode tcp    Algorithm 2 as one rank of a TCP world: requires -rank and
-//	             -hosts (comma-separated host:port list, one per rank);
-//	             start one OS process per rank
+//	-backend seq   sequential KADABRA (certified top-k with -certify-top)
+//	-backend shm   shared-memory epoch-based parallelization (the paper's
+//	               baseline, Ref. 24)
+//	-backend dist  epoch-based MPI parallelization (paper Algorithm 2) over
+//	               -procs in-process ranks
+//	-backend alg1  pure-MPI parallelization (paper Algorithm 1)
+//	-backend tcp   Algorithm 2 as one rank of a TCP world: requires -rank
+//	               and -hosts (comma-separated host:port list, one per
+//	               rank); start one OS process per rank
 //
-// Workloads (paper footnote 1; seq and shm modes only):
+// (-mode is a deprecated alias of -backend.)
+//
+// Workloads (paper footnote 1; valid with every backend, including the
+// MPI and TCP ones — the workload-generic executor contract threads the
+// swapped sampling kernel through the distributed drivers):
 //
 //	-directed    directed betweenness on a digraph: -graph reads an arc
 //	             list ("u v" = u->v), -gen accepts scc:n=..,m=..; the
@@ -35,9 +39,10 @@
 //
 // Examples:
 //
-//	bcapprox -gen rmat:scale=14,ef=16 -eps 0.01 -mode dist -procs 4 -threads 6 -top 10
-//	bcapprox -directed -gen scc:n=100000,m=1000000 -mode shm -threads 8
-//	bcapprox -weighted -gen road:rows=300,cols=300 -maxw 10 -mode shm
+//	bcapprox -gen rmat:scale=14,ef=16 -eps 0.01 -backend dist -procs 4 -threads 6 -top 10
+//	bcapprox -directed -gen scc:n=100000,m=1000000 -backend dist -procs 4
+//	bcapprox -weighted -gen road:rows=300,cols=300 -maxw 10 -backend shm
+//	bcapprox -directed -gen scc:n=50000,m=500000 -backend tcp -rank 0 -hosts h0:9000,h1:9000
 package main
 
 import (
@@ -58,13 +63,14 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "input graph file (edge list or .bcsr; arc list with -directed; weighted edge list with -weighted)")
 		genSpec   = flag.String("gen", "", "generator spec, e.g. rmat:scale=14,ef=16 (scc:n=..,m=.. with -directed)")
-		directed  = flag.Bool("directed", false, "directed betweenness over shortest directed paths (seq|shm modes)")
-		weighted  = flag.Bool("weighted", false, "weighted betweenness over minimum-weight paths (seq|shm modes)")
+		directed  = flag.Bool("directed", false, "directed betweenness over shortest directed paths (any backend)")
+		weighted  = flag.Bool("weighted", false, "weighted betweenness over minimum-weight paths (any backend)")
 		maxW      = flag.Uint64("maxw", 10, "with -weighted -gen: assign uniform weights in [1, maxw]")
 		eps       = flag.Float64("eps", 0.01, "absolute approximation error")
 		delta     = flag.Float64("delta", 0.1, "failure probability")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
-		mode      = flag.String("mode", "shm", "seq | shm | dist | alg1 | tcp")
+		backend   = flag.String("backend", "", "seq | shm | dist | alg1 | tcp (default shm)")
+		mode      = flag.String("mode", "", "deprecated alias of -backend")
 		procs     = flag.Int("procs", 2, "processes for dist/alg1 modes")
 		threads   = flag.Int("threads", 4, "sampling threads per process")
 		ranksPer  = flag.Int("ranks-per-node", 0, "enable hierarchical aggregation with this group size")
@@ -77,8 +83,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// -backend supersedes -mode; honour the alias when only -mode is given.
+	switch {
+	case *backend == "" && *mode == "":
+		*backend = "shm"
+	case *backend == "":
+		*backend = *mode
+	case *mode != "" && *mode != *backend:
+		fatal(fmt.Errorf("-backend %q and -mode %q disagree; drop the deprecated -mode flag", *backend, *mode))
+	}
+
 	if *directed && *weighted {
-		fatal(fmt.Errorf("-directed and -weighted are mutually exclusive (weighted digraphs are not supported yet)"))
+		// No backend implements a weighted-digraph workload yet, so this is
+		// the typed capability error, not an ad-hoc flag restriction.
+		fatal(fmt.Errorf("%w: no backend implements the directed-weighted workload (pick -directed or -weighted)",
+			betweenness.ErrUnsupportedWorkload))
 	}
 
 	strategy, err := betweenness.ParseAggStrategy(*agg)
@@ -101,14 +120,14 @@ func main() {
 		}))
 	}
 	if *certify {
-		if *mode != "seq" || *directed || *weighted {
-			fatal(fmt.Errorf("-certify-top requires -mode seq on an undirected unweighted graph (only that path certifies the ranking)"))
+		if *backend != "seq" || *directed || *weighted {
+			fatal(fmt.Errorf("-certify-top requires -backend seq on an undirected unweighted graph (only that path certifies the ranking)"))
 		}
 		opts = append(opts, betweenness.WithTopK(*topK))
 	}
 
 	var exec betweenness.Executor
-	switch *mode {
+	switch *backend {
 	case "seq":
 		exec = betweenness.Sequential()
 	case "shm":
@@ -119,35 +138,33 @@ func main() {
 		exec = betweenness.PureMPI(*procs)
 	case "tcp":
 		if *rank < 0 || *hosts == "" {
-			fatal(fmt.Errorf("tcp mode requires -rank and -hosts"))
+			fatal(fmt.Errorf("tcp backend requires -rank and -hosts"))
 		}
 		exec = betweenness.TCP(*rank, strings.Split(*hosts, ","))
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
-	}
-	if (*directed || *weighted) && *mode != "seq" && *mode != "shm" {
-		fatal(fmt.Errorf("-directed/-weighted support -mode seq|shm only (the MPI backends run the undirected sampler)"))
+		fatal(fmt.Errorf("unknown backend %q", *backend))
 	}
 	opts = append(opts, betweenness.WithExecutor(exec))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	start := time.Now()
-	var res *betweenness.Result
+	// Build the tagged workload; every backend runs it through the one
+	// workload-generic front door.
+	var w betweenness.Workload
 	switch {
 	case *directed:
 		g, err := loadDigraph(*graphPath, *genSpec)
 		if err != nil {
 			fatal(err)
 		}
-		g, _ = graph.LargestSCC(g)
-		fmt.Printf("digraph: %d nodes, %d arcs (largest strongly connected component)\n",
-			g.NumNodes(), g.NumArcs())
-		res, err = betweenness.EstimateDirected(ctx, g, opts...)
+		g, _, err = graph.LargestSCC(g)
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Printf("digraph: %d nodes, %d arcs (largest strongly connected component)\n",
+			g.NumNodes(), g.NumArcs())
+		w = betweenness.Directed(g)
 	case *weighted:
 		if *genSpec != "" && (*maxW < 1 || *maxW > math.MaxUint32) {
 			fatal(fmt.Errorf("-maxw must be in [1, %d], got %d", uint64(math.MaxUint32), *maxW))
@@ -162,10 +179,7 @@ func main() {
 		}
 		fmt.Printf("weighted graph: %d nodes, %d edges (largest connected component)\n",
 			g.NumNodes(), g.NumEdges())
-		res, err = betweenness.EstimateWeighted(ctx, g, opts...)
-		if err != nil {
-			fatal(err)
-		}
+		w = betweenness.Weighted(g)
 	default:
 		g, err := loadGraph(*graphPath, *genSpec)
 		if err != nil {
@@ -176,10 +190,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("graph: %d nodes, %d edges (largest connected component)\n", g.NumNodes(), g.NumEdges())
-		res, err = betweenness.Estimate(ctx, g, opts...)
-		if err != nil {
-			fatal(err)
-		}
+		w = betweenness.Undirected(g)
+	}
+
+	start := time.Now()
+	res, err := betweenness.EstimateWorkload(ctx, w, opts...)
+	if err != nil {
+		fatal(err)
 	}
 	if res.Estimates == nil {
 		// TCP mode, non-root rank: the result lives at rank 0.

@@ -52,7 +52,10 @@ func main() {
 		}
 		// Exact Brandes handles arbitrary digraphs; reduce to the largest
 		// SCC anyway so the scores are comparable with bcapprox -directed.
-		g, _ = graph.LargestSCC(g)
+		g, _, err = graph.LargestSCC(g)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("digraph: %d nodes, %d arcs (largest strongly connected component)\n",
 			g.NumNodes(), g.NumArcs())
 		start = time.Now()

@@ -58,6 +58,9 @@ func main() {
 		if *n < 2 {
 			fatal(fmt.Errorf("-directed needs -n >= 2, got %d", *n))
 		}
+		if *m < 0 {
+			fatal(fmt.Errorf("-directed needs -m >= 0, got %d", *m))
+		}
 		g := graph.RandomDigraph(*n, *m, *seed)
 		if err := graph.SaveDigraphFile(*out, g); err != nil {
 			fatal(err)

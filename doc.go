@@ -4,15 +4,19 @@
 //
 // The public API lives in two root packages:
 //
-//   - repro/betweenness — three entry points sharing one option set:
-//     betweenness.Estimate(ctx, g, opts...) for undirected graphs,
-//     EstimateDirected for strongly connected digraphs, and
-//     EstimateWeighted for positively weighted graphs (the paper's
-//     footnote-1 scenarios), with pluggable execution backends
-//     (Sequential, SharedMemory, LocalMPI, PureMPI, TCP; the directed
-//     and weighted workloads run on the first two), plus exact Brandes
-//     ground truth (Exact, ExactDirected, ExactWeighted) and accuracy
-//     reports.
+//   - repro/betweenness — estimation scenarios are first-class Workload
+//     values (Undirected, Directed, Weighted — the paper's footnote-1
+//     scenarios) run through one workload-generic front door,
+//     betweenness.EstimateWorkload(ctx, w, opts...), with thin wrappers
+//     Estimate, EstimateDirected (strongly connected digraphs), and
+//     EstimateWeighted (positively weighted graphs) sharing one option
+//     set. Execution backends are pluggable Executors (Sequential,
+//     SharedMemory, LocalMPI, PureMPI, TCP) that each report their
+//     Capabilities(); all five run all three workloads, and a mismatch
+//     with a narrower custom backend fails fast with
+//     ErrUnsupportedWorkload. Exact Brandes ground truth (Exact,
+//     ExactDirected, ExactWeighted) and accuracy reports round out the
+//     package.
 //   - repro/graph — the CSR graph types (Graph, Digraph, WGraph),
 //     builder, file loaders (edge lists, arc lists, weighted edge
 //     lists, BCSR binaries), connectivity and diameter routines, and

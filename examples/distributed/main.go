@@ -101,19 +101,37 @@ func worker(rank int, addrs []string) {
 	if err != nil {
 		log.Fatalf("rank %d: %v", rank, err)
 	}
-	if res.Estimates == nil {
+	if res.Estimates != nil {
+		fmt.Printf("rank 0: %d nodes, %d edges -> tau=%d, %d epochs, %v total\n",
+			g.NumNodes(), g.NumEdges(), res.Tau, res.Distributed.Epochs,
+			time.Since(start).Round(time.Millisecond))
+		fmt.Printf("rank 0: barrier wait %v, blocking reduce %v, comm %0.2f MiB/epoch\n",
+			res.Distributed.BarrierWait.Round(time.Microsecond),
+			res.Distributed.ReduceTime.Round(time.Microsecond),
+			float64(res.Distributed.CommVolumePerEpoch)/(1<<20))
+		fmt.Println("rank 0: top-5 central vertices:")
+		for i, v := range res.TopK(5) {
+			fmt.Printf("  %d. vertex %6d  b~ = %.5f\n", i+1, v, res.Estimates[v])
+		}
+	} else {
 		fmt.Printf("rank %d done (sampled for %v)\n", rank, time.Since(start).Round(time.Millisecond))
-		return
 	}
-	fmt.Printf("rank 0: %d nodes, %d edges -> tau=%d, %d epochs, %v total\n",
-		g.NumNodes(), g.NumEdges(), res.Tau, res.Distributed.Epochs,
-		time.Since(start).Round(time.Millisecond))
-	fmt.Printf("rank 0: barrier wait %v, blocking reduce %v, comm %0.2f MiB/epoch\n",
-		res.Distributed.BarrierWait.Round(time.Microsecond),
-		res.Distributed.ReduceTime.Round(time.Microsecond),
-		float64(res.Distributed.CommVolumePerEpoch)/(1<<20))
-	fmt.Println("rank 0: top-5 central vertices:")
-	for i, v := range res.TopK(5) {
-		fmt.Printf("  %d. vertex %6d  b~ = %.5f\n", i+1, v, res.Estimates[v])
+
+	// The executor contract is workload-generic: the same TCP world (a new
+	// connection round, same ranks) also runs the directed scenario. Every
+	// rank builds the identical digraph and passes the identical workload
+	// kind; rank 0 gets the estimates.
+	dg := graph.RandomDigraph(1<<13, 1<<16, 2024)
+	dres, err := betweenness.EstimateWorkload(context.Background(), betweenness.Directed(dg),
+		betweenness.WithEpsilon(0.015),
+		betweenness.WithSeed(7),
+		betweenness.WithThreads(4),
+		betweenness.WithExecutor(betweenness.TCP(rank, addrs)))
+	if err != nil {
+		log.Fatalf("rank %d (directed): %v", rank, err)
+	}
+	if dres.Estimates != nil {
+		fmt.Printf("rank 0: directed workload on the same world -> tau=%d, %d epochs\n",
+			dres.Tau, dres.Distributed.Epochs)
 	}
 }

@@ -106,4 +106,20 @@ func StronglyConnectedComponents(g *Digraph) (labels []int32, sizes []int) {
 
 // LargestSCC returns the induced subgraph on the largest strongly
 // connected component and the old-to-new ID mapping.
-func LargestSCC(g *Digraph) (*Digraph, map[Node]Node) { return igraph.LargestSCC(g) }
+//
+// Like LargestComponent, it fails when the result would be unusable for
+// betweenness estimation — an empty digraph, or a largest SCC consisting
+// of a single vertex — so callers cannot silently proceed on a degenerate
+// input.
+func LargestSCC(g *Digraph) (*Digraph, map[Node]Node, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, nil, fmt.Errorf("graph: largest SCC of an empty digraph")
+	}
+	scc, remap := igraph.LargestSCC(g)
+	if scc.NumNodes() < 2 {
+		return nil, nil, fmt.Errorf(
+			"graph: largest strongly connected component has %d vertices (need >= 2); the input has no cycles",
+			scc.NumNodes())
+	}
+	return scc, remap, nil
+}

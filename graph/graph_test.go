@@ -97,7 +97,10 @@ func TestLargestSCC(t *testing.T) {
 		{4, 5}, {5, 4},
 		{0, 4},
 	})
-	scc, remap := LargestSCC(g)
+	scc, remap, err := LargestSCC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if scc.NumNodes() != 4 {
 		t.Fatalf("largest SCC has %d nodes, want 4", scc.NumNodes())
 	}
@@ -294,5 +297,20 @@ func TestDiameterHelpers(t *testing.T) {
 	}
 	if d, exact := ApproxDiameter(g, 0); !exact || d != 3 {
 		t.Errorf("ApproxDiameter = (%d, %v), want (3, true)", d, exact)
+	}
+}
+
+func TestLargestSCCRejectsDegenerateInputs(t *testing.T) {
+	// Empty digraph (e.g. a comment-only arc-list file) and an acyclic
+	// digraph (largest SCC is a single vertex) must error, not panic.
+	if _, _, err := LargestSCC(nil); err == nil {
+		t.Error("nil digraph accepted")
+	}
+	if _, _, err := LargestSCC(FromArcs(0, nil)); err == nil {
+		t.Error("empty digraph accepted")
+	}
+	dag := FromArcs(3, [][2]Node{{0, 1}, {1, 2}})
+	if _, _, err := LargestSCC(dag); err == nil {
+		t.Error("acyclic digraph accepted (largest SCC is a single vertex)")
 	}
 }

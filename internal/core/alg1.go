@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/bfs"
-	"repro/internal/graph"
 	"repro/internal/kadabra"
 	"repro/internal/mpi"
 	"repro/internal/rng"
@@ -19,17 +17,19 @@ import (
 // epoch-based Algorithm2.
 //
 // All processes must call it collectively with the same configuration and
-// (structurally identical) graph. World rank 0 returns the result; other
-// ranks return Result{Res: nil}.
+// a workload over a (structurally identical) graph — any of the three
+// estimation scenarios, per the paper's footnote 1: only the sampling
+// kernel and the phase-1 bound differ between them. World rank 0 returns
+// the result; other ranks return Result{Res: nil}.
 //
 // Cancellation on any rank propagates: every rank gossips its context
 // state with the per-epoch reduction, rank 0 folds it (and its own ctx)
 // into the termination broadcast, and all ranks leave the collective loop
 // cleanly within one epoch — cancelled ranks return their ctx.Err(), the
 // others ErrRemoteCancelled.
-func Algorithm1(ctx context.Context, g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
-	if g.NumNodes() < 2 {
-		return nil, fmt.Errorf("core: need at least 2 vertices, got %d", g.NumNodes())
+func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Config) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	kcfg := cfg.Config
 	if kcfg.Eps == 0 {
@@ -39,11 +39,11 @@ func Algorithm1(ctx context.Context, g *graph.Graph, comm *mpi.Comm, cfg Config)
 		kcfg.Delta = 0.1
 	}
 	cfg.Config = kcfg
-	n := g.NumNodes()
+	n := w.N()
 	root := 0
 
 	// Phase 1: diameter at rank 0, broadcast.
-	vd, diamTime, err := phase1(g, comm, cfg)
+	vd, diamTime, err := phase1(w, comm, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +55,7 @@ func Algorithm1(ctx context.Context, g *graph.Graph, comm *mpi.Comm, cfg Config)
 	for i := 0; i <= comm.Rank(); i++ {
 		r = rng.NewRand(seed.Next())
 	}
-	sampler := bfs.NewSampler(g, r)
+	sampler := w.NewSampler(r)
 
 	// Local state frame (S_loc in the pseudocode).
 	loc := make([]int64, n)

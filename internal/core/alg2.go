@@ -7,9 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bfs"
 	"repro/internal/epoch"
-	"repro/internal/graph"
 	"repro/internal/kadabra"
 	"repro/internal/mpi"
 	"repro/internal/rng"
@@ -24,16 +22,20 @@ import (
 // reduce over the global communicator; this mirrors the paper's
 // one-process-per-NUMA-socket deployment.
 //
-// All processes call it collectively; world rank 0 returns the result.
+// All processes call it collectively with a workload over a structurally
+// identical graph — any of the three estimation scenarios (undirected,
+// directed, weighted), per the paper's footnote 1: only the sampling
+// kernel and the phase-1 bound differ between them. World rank 0 returns
+// the result.
 //
 // Cancellation on any rank propagates: every rank gossips its context
 // state with the per-epoch reduction, rank 0 folds it (and its own ctx)
 // into the termination broadcast, and all ranks leave the collective loop
 // cleanly within one epoch — cancelled ranks return their ctx.Err(), the
 // others ErrRemoteCancelled.
-func Algorithm2(ctx context.Context, g *graph.Graph, comm *mpi.Comm, cfg Config) (*Result, error) {
-	if g.NumNodes() < 2 {
-		return nil, fmt.Errorf("core: need at least 2 vertices, got %d", g.NumNodes())
+func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Config) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	kcfg := cfg.Config
 	if kcfg.Eps == 0 {
@@ -43,12 +45,12 @@ func Algorithm2(ctx context.Context, g *graph.Graph, comm *mpi.Comm, cfg Config)
 		kcfg.Delta = 0.1
 	}
 	cfg.Config = kcfg
-	n := g.NumNodes()
+	n := w.N()
 	T := cfg.threads()
 	root := 0
 
 	// Phase 1: diameter at rank 0, broadcast.
-	vd, diamTime, err := phase1(g, comm, cfg)
+	vd, diamTime, err := phase1(w, comm, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -60,9 +62,9 @@ func Algorithm2(ctx context.Context, g *graph.Graph, comm *mpi.Comm, cfg Config)
 	for i := 0; i < comm.Rank()*T; i++ {
 		sm.Next()
 	}
-	samplers := make([]*bfs.Sampler, T)
+	samplers := make([]kadabra.Sampler, T)
 	for t := range samplers {
-		samplers[t] = bfs.NewSampler(g, rng.NewRand(sm.Next()))
+		samplers[t] = w.NewSampler(rng.NewRand(sm.Next()))
 	}
 
 	// Phase 2: calibration — all T threads of all processes sample a fixed

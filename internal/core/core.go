@@ -25,8 +25,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/diameter"
-	"repro/internal/graph"
 	"repro/internal/kadabra"
 	"repro/internal/mpi"
 )
@@ -141,21 +139,13 @@ func commVolumePerEpoch(n, procs int) int64 {
 // phase1 computes the vertex diameter at world rank 0 (the paper uses a
 // sequential diameter algorithm whose cost appears in Fig. 2b) and
 // broadcasts it to all ranks, which need it for the calibration sample
-// budget.
-func phase1(g *graph.Graph, comm *mpi.Comm, cfg Config) (vd int, elapsed time.Duration, err error) {
+// budget. The bound itself is workload-specific: the workload's resolver
+// honours cfg.VertexDiameter and, on the undirected scenario, the iFUB
+// cap cfg.DiameterBFSCap.
+func phase1(w kadabra.Workload, comm *mpi.Comm, cfg Config) (vd int, elapsed time.Duration, err error) {
 	var payload []byte
 	if comm.Rank() == 0 {
-		start := time.Now()
-		switch {
-		case cfg.VertexDiameter > 0:
-			vd = cfg.VertexDiameter
-		case cfg.DiameterBFSCap > 0:
-			d, _ := diameter.IFUB(g, cfg.DiameterBFSCap)
-			vd = int(d) + 1
-		default:
-			vd = diameter.VertexDiameter(g)
-		}
-		elapsed = time.Since(start)
+		vd, elapsed = w.ResolveDiameter(cfg.Config)
 		payload = mpi.EncodeInt64s(nil, []int64{int64(vd)})
 	}
 	out, err := comm.Bcast(0, payload)

@@ -35,7 +35,7 @@ func guaranteeCheck(t *testing.T, g *graph.Graph, res *kadabra.Result, eps float
 func TestAlgorithm1SingleProcess(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
-	res, err := RunLocal(context.Background(), g, 1, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 1}}, VariantPureMPI)
+	res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 1, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 1}}, VariantPureMPI)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestAlgorithm1MultiProcess(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
 	for _, p := range []int{2, 4} {
-		res, err := RunLocal(context.Background(), g, p, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 2}}, VariantPureMPI)
+		res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), p, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 2}}, VariantPureMPI)
 		if err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
@@ -66,7 +66,7 @@ func TestAlgorithm1MultiProcess(t *testing.T) {
 func TestAlgorithm2SingleProcessSingleThread(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
-	res, err := RunLocal(context.Background(), g, 1, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 3}, Threads: 1}, VariantEpoch)
+	res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 1, Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 3}, Threads: 1}, VariantEpoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestAlgorithm2MultiProcessMultiThread(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
 	for _, pc := range []struct{ p, t int }{{1, 4}, {2, 2}, {4, 2}} {
-		res, err := RunLocal(context.Background(), g, pc.p,
+		res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), pc.p,
 			Config{Config: kadabra.Config{Eps: eps, Delta: 0.1, Seed: 4}, Threads: pc.t}, VariantEpoch)
 		if err != nil {
 			t.Fatalf("p=%d t=%d: %v", pc.p, pc.t, err)
@@ -93,7 +93,7 @@ func TestAlgorithm2Hierarchical(t *testing.T) {
 	g := testGraph()
 	eps := 0.04
 	// 4 processes grouped as 2 "nodes" x 2 "sockets" (paper §IV-E).
-	res, err := RunLocal(context.Background(), g, 4, Config{
+	res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 4, Config{
 		Config:       kadabra.Config{Eps: eps, Delta: 0.1, Seed: 5},
 		Threads:      2,
 		RanksPerNode: 2,
@@ -108,7 +108,7 @@ func TestAlgorithm2AllStrategies(t *testing.T) {
 	g := testGraph()
 	eps := 0.05
 	for _, s := range []AggStrategy{AggIBarrierReduce, AggIReduce, AggBlocking} {
-		res, err := RunLocal(context.Background(), g, 2, Config{
+		res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 2, Config{
 			Config:   kadabra.Config{Eps: eps, Delta: 0.1, Seed: 6},
 			Threads:  2,
 			Strategy: s,
@@ -123,7 +123,7 @@ func TestAlgorithm2AllStrategies(t *testing.T) {
 func TestAlgorithm1AllStrategies(t *testing.T) {
 	g := testGraph()
 	for _, s := range []AggStrategy{AggIBarrierReduce, AggIReduce, AggBlocking} {
-		res, err := RunLocal(context.Background(), g, 3, Config{
+		res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 3, Config{
 			Config:   kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 7},
 			Strategy: s,
 		}, VariantPureMPI)
@@ -142,7 +142,7 @@ func TestAlgorithm2DegenerateStopAfterCalibration(t *testing.T) {
 	b.AddEdge(1, 2)
 	b.AddEdge(2, 3)
 	g := b.Build()
-	res, err := RunLocal(context.Background(), g, 2, Config{
+	res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 2, Config{
 		Config:  kadabra.Config{Eps: 0.3, Delta: 0.2, Seed: 8, StartFactor: 1},
 		Threads: 2,
 	}, VariantEpoch)
@@ -159,13 +159,13 @@ func TestAlgorithm2DegenerateStopAfterCalibration(t *testing.T) {
 
 func TestAlgorithm2RejectsTinyGraph(t *testing.T) {
 	g := graph.NewBuilder(1).Build()
-	if _, err := RunLocal(context.Background(), g, 1, Config{}, VariantEpoch); err == nil {
+	if _, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 1, Config{}, VariantEpoch); err == nil {
 		t.Fatal("singleton accepted")
 	}
 }
 
 func TestRunLocalRejectsZeroProcs(t *testing.T) {
-	if _, err := RunLocal(context.Background(), testGraph(), 0, Config{}, VariantEpoch); err == nil {
+	if _, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(testGraph()), 0, Config{}, VariantEpoch); err == nil {
 		t.Fatal("0 processes accepted")
 	}
 }
@@ -175,7 +175,7 @@ func TestResultConsistencyAcrossRanks(t *testing.T) {
 	// scores: sum(btilde) * tau must be an integer (total internal-vertex
 	// count), and every score in [0,1].
 	g := testGraph()
-	res, err := RunLocal(context.Background(), g, 3, Config{
+	res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 3, Config{
 		Config:  kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 9},
 		Threads: 2,
 	}, VariantEpoch)
@@ -213,7 +213,7 @@ func TestAlgorithm2OverTCP(t *testing.T) {
 				return
 			}
 			defer closer.Close()
-			res, err := Algorithm2(context.Background(), g, comm, Config{
+			res, err := Algorithm2(context.Background(), kadabra.UndirectedWorkload(g), comm, Config{
 				Config:  kadabra.Config{Eps: eps, Delta: 0.1, Seed: 10},
 				Threads: 2,
 			})
@@ -256,7 +256,7 @@ func TestTerminationIsPrompt(t *testing.T) {
 	// multiplicative).
 	g := testGraph()
 	for _, p := range []int{1, 2, 4} {
-		res, err := RunLocal(context.Background(), g, p, Config{
+		res, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), p, Config{
 			Config:  kadabra.Config{Eps: 0.05, Delta: 0.1, Seed: 11},
 			Threads: 2,
 		}, VariantEpoch)
@@ -277,7 +277,7 @@ func TestOnEpochHook(t *testing.T) {
 	g := testGraph()
 	var epochs []int
 	var taus []int64
-	_, err := RunLocal(context.Background(), g, 2, Config{
+	_, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 2, Config{
 		Config:  kadabra.Config{Eps: 0.03, Delta: 0.1, Seed: 21},
 		Threads: 2,
 		OnEpoch: func(e int, tau int64) {
@@ -298,5 +298,91 @@ func TestOnEpochHook(t *testing.T) {
 		if epochs[i] != epochs[i-1]+1 {
 			t.Fatalf("epoch indices not consecutive: %v", epochs)
 		}
+	}
+}
+
+// --- workload-generic driver ------------------------------------------------
+// The distributed algorithms take a kadabra.Workload, so the directed and
+// weighted scenarios (paper footnote 1) run through the same epoch-reduce
+// machinery as the undirected one. These tests pin the (eps, delta)
+// guarantee of both scenarios on both variants against exact Brandes.
+
+func testDigraph() *graph.Digraph {
+	dg := gen.RandomDigraph(150, 900, 5)
+	dg, _ = graph.LargestSCC(dg)
+	return dg
+}
+
+func testWGraph(t *testing.T) *graph.WGraph {
+	t.Helper()
+	const rows, cols = 8, 8
+	at := func(r, c int) graph.Node { return graph.Node(r*cols + c) }
+	var edges []graph.WeightedEdge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.WeightedEdge{U: at(r, c), V: at(r, c+1), W: uint32(len(edges)*2654435761)%7 + 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.WeightedEdge{U: at(r, c), V: at(r+1, c), W: uint32(len(edges)*2654435761)%7 + 1})
+			}
+		}
+	}
+	g, err := graph.FromWeightedEdges(rows*cols, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func maxAbsErr(exact, got []float64) float64 {
+	worst := 0.0
+	for v := range exact {
+		if d := math.Abs(exact[v] - got[v]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestDistributedDirectedWorkload(t *testing.T) {
+	dg := testDigraph()
+	exact := brandes.ExactDirected(dg)
+	const eps = 0.05
+	for _, variant := range []Variant{VariantEpoch, VariantPureMPI} {
+		res, err := RunLocal(context.Background(), kadabra.DirectedWorkload(dg), 2, Config{
+			Config:  kadabra.Config{Eps: eps, Delta: 0.1, Seed: 31},
+			Threads: 2,
+		}, variant)
+		if err != nil {
+			t.Fatalf("variant %d: %v", variant, err)
+		}
+		if worst := maxAbsErr(exact, res.Res.Betweenness); worst > eps {
+			t.Errorf("variant %d: max error %f exceeds eps %f (tau=%d)", variant, worst, eps, res.Res.Tau)
+		}
+	}
+}
+
+func TestDistributedWeightedWorkload(t *testing.T) {
+	wg := testWGraph(t)
+	exact := brandes.ExactWeighted(wg)
+	const eps = 0.05
+	for _, variant := range []Variant{VariantEpoch, VariantPureMPI} {
+		res, err := RunLocal(context.Background(), kadabra.WeightedWorkload(wg), 2, Config{
+			Config:  kadabra.Config{Eps: eps, Delta: 0.1, Seed: 32},
+			Threads: 2,
+		}, variant)
+		if err != nil {
+			t.Fatalf("variant %d: %v", variant, err)
+		}
+		if worst := maxAbsErr(exact, res.Res.Betweenness); worst > eps {
+			t.Errorf("variant %d: max error %f exceeds eps %f (tau=%d)", variant, worst, eps, res.Res.Tau)
+		}
+	}
+}
+
+func TestRunLocalRejectsZeroWorkload(t *testing.T) {
+	if _, err := RunLocal(context.Background(), kadabra.Workload{}, 1, Config{}, VariantEpoch); err == nil {
+		t.Fatal("zero workload accepted")
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/graph"
+	"repro/internal/kadabra"
 	"repro/internal/mpi"
 )
 
@@ -19,16 +19,17 @@ const (
 	VariantPureMPI
 )
 
-// RunLocal executes the selected algorithm over an in-process world of
-// procs ranks (each a goroutine group sharing the graph — the analogue of
-// MPI ranks on one machine, where the graph data structure is shared) and
-// returns world rank 0's result.
+// RunLocal executes the selected algorithm on a workload (any of the three
+// estimation scenarios — undirected, directed, weighted) over an in-process
+// world of procs ranks (each a goroutine group sharing the graph — the
+// analogue of MPI ranks on one machine, where the graph data structure is
+// shared) and returns world rank 0's result.
 //
 // Cancelling ctx stops the run within one epoch: rank 0 folds the
 // cancellation into the termination broadcast, so every rank exits the
 // collective loop cleanly, and RunLocal returns ctx.Err() (wrapped with the
 // failing rank by the mpi layer).
-func RunLocal(ctx context.Context, g *graph.Graph, procs int, cfg Config, variant Variant) (*Result, error) {
+func RunLocal(ctx context.Context, w kadabra.Workload, procs int, cfg Config, variant Variant) (*Result, error) {
 	if procs < 1 {
 		return nil, fmt.Errorf("core: need at least 1 process, got %d", procs)
 	}
@@ -39,9 +40,9 @@ func RunLocal(ctx context.Context, g *graph.Graph, procs int, cfg Config, varian
 		var err error
 		switch variant {
 		case VariantPureMPI:
-			res, err = Algorithm1(ctx, g, c, cfg)
+			res, err = Algorithm1(ctx, w, c, cfg)
 		default:
-			res, err = Algorithm2(ctx, g, c, cfg)
+			res, err = Algorithm2(ctx, w, c, cfg)
 		}
 		if err != nil {
 			return err

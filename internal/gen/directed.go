@@ -19,10 +19,13 @@ func RandomDigraph(n, m int, seed uint64) *graph.Digraph {
 	if n < 2 {
 		panic("gen: RandomDigraph needs at least 2 vertices")
 	}
+	if m < 0 {
+		m = 0
+	}
 	r := rng.NewRand(seed)
 	perm := make([]int, n)
 	r.Perm(perm)
-	arcs := make([][2]graph.Node, 0, m)
+	arcs := make([][2]graph.Node, 0, n+m)
 	for i := 0; i < n; i++ {
 		arcs = append(arcs, [2]graph.Node{graph.Node(perm[i]), graph.Node(perm[(i+1)%n])})
 	}

@@ -87,8 +87,8 @@ func DirectedVertexDiameter(g *graph.Digraph) int {
 // digraph. cfg.VertexDiameter may be set to skip the bound computation.
 // Cancellation and the OnEpoch hook behave exactly as in Sequential.
 func SequentialDirected(ctx context.Context, g *graph.Digraph, cfg Config) (*Result, error) {
-	w := directedWorkload(g)
-	if err := validateWorkload(w); err != nil {
+	w := DirectedWorkload(g)
+	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	return runSequential(ctx, w, cfg)
@@ -99,8 +99,8 @@ func SequentialDirected(ctx context.Context, g *graph.Digraph, cfg Config) (*Res
 // concrete: the epoch framework is untouched, only the sampling kernel
 // each thread runs is the directed one.
 func SharedMemoryDirected(ctx context.Context, g *graph.Digraph, threads int, cfg Config) (*Result, error) {
-	w := directedWorkload(g)
-	if err := validateWorkload(w); err != nil {
+	w := DirectedWorkload(g)
+	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	return runSharedMemory(ctx, w, threads, cfg)

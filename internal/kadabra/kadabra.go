@@ -147,10 +147,10 @@ func sortByScoreDesc(idx []graph.Node, scores []float64) {
 }
 
 // resolveVertexDiameter runs phase 1 (or uses the precomputed override);
-// the override/cap/timing logic lives in resolveWorkloadDiameter so the
+// the override/cap/timing logic lives in Workload.ResolveDiameter so the
 // workload-based and classic entry points cannot drift apart.
 func resolveVertexDiameter(g *graph.Graph, cfg Config) (int, time.Duration) {
-	return resolveWorkloadDiameter(undirectedWorkload(g), cfg)
+	return UndirectedWorkload(g).ResolveDiameter(cfg)
 }
 
 // validate rejects graphs the estimator cannot work with.

@@ -19,7 +19,7 @@ func Sequential(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error
 	if err := validate(g); err != nil {
 		return nil, err
 	}
-	return runSequential(ctx, undirectedWorkload(g), cfg)
+	return runSequential(ctx, UndirectedWorkload(g), cfg)
 }
 
 // runSequential is the generic single-threaded driver shared by the
@@ -27,12 +27,12 @@ func Sequential(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error
 // the phase-1 bound differ per workload; the statistical machinery (omega,
 // calibration, the adaptive stopping rule), cancellation, and the OnEpoch
 // hook are workload-agnostic.
-func runSequential(ctx context.Context, w workload, cfg Config) (*Result, error) {
+func runSequential(ctx context.Context, w Workload, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	n := w.n
 
 	// Phase 1: diameter -> omega.
-	vd, diamTime := resolveWorkloadDiameter(w, cfg)
+	vd, diamTime := w.ResolveDiameter(cfg)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

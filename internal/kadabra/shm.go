@@ -30,14 +30,14 @@ func SharedMemory(ctx context.Context, g *graph.Graph, threads int, cfg Config) 
 	if err := validate(g); err != nil {
 		return nil, err
 	}
-	return runSharedMemory(ctx, undirectedWorkload(g), threads, cfg)
+	return runSharedMemory(ctx, UndirectedWorkload(g), threads, cfg)
 }
 
 // runSharedMemory is the generic epoch-based driver shared by the
 // undirected, directed, and weighted scenarios (see workload.go): the epoch
 // framework, cancellation, and the OnEpoch hook are workload-agnostic; only
 // the sampling kernel each thread runs differs.
-func runSharedMemory(ctx context.Context, w workload, threads int, cfg Config) (*Result, error) {
+func runSharedMemory(ctx context.Context, w Workload, threads int, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -45,7 +45,7 @@ func runSharedMemory(ctx context.Context, w workload, threads int, cfg Config) (
 	n := w.n
 
 	// Phase 1: diameter.
-	vd, diamTime := resolveWorkloadDiameter(w, cfg)
+	vd, diamTime := w.ResolveDiameter(cfg)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -53,7 +53,7 @@ func runSharedMemory(ctx context.Context, w workload, threads int, cfg Config) (
 
 	// Per-thread samplers with split RNG streams.
 	master := rng.NewRand(cfg.Seed)
-	samplers := make([]sampler, threads)
+	samplers := make([]Sampler, threads)
 	for i := range samplers {
 		samplers[i] = w.newSampler(master.Split())
 	}

@@ -74,8 +74,8 @@ func maxDegreeW(g *graph.WGraph) graph.Node {
 // connected graph. Cancellation and the OnEpoch hook behave exactly as in
 // Sequential.
 func SequentialWeighted(ctx context.Context, g *graph.WGraph, cfg Config) (*Result, error) {
-	w := weightedWorkload(g)
-	if err := validateWorkload(w); err != nil {
+	w := WeightedWorkload(g)
+	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	return runSequential(ctx, w, cfg)
@@ -85,8 +85,8 @@ func SequentialWeighted(ctx context.Context, g *graph.WGraph, cfg Config) (*Resu
 // on a positively weighted connected graph: the epoch framework is
 // untouched, only the sampling kernel each thread runs is Dijkstra-based.
 func SharedMemoryWeighted(ctx context.Context, g *graph.WGraph, threads int, cfg Config) (*Result, error) {
-	w := weightedWorkload(g)
-	if err := validateWorkload(w); err != nil {
+	w := WeightedWorkload(g)
+	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	return runSharedMemory(ctx, w, threads, cfg)

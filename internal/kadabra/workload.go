@@ -1,6 +1,7 @@
 package kadabra
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,43 +11,76 @@ import (
 	"repro/internal/rng"
 )
 
-// This file is the workload abstraction behind every single-process KADABRA
-// variant. The paper's footnote 1 observes that the parallelization applies
-// unchanged to directed and weighted graphs once the sampling kernel is
-// swapped; the abstraction makes that literal: a workload bundles the two
-// graph-dependent ingredients — the per-thread path sampler and the phase-1
-// vertex-diameter bound — and the generic drivers (runSequential,
-// runSharedMemory) carry the statistical machinery, context cancellation,
-// and the OnEpoch progress hook for all of them.
+// This file is the workload abstraction behind every KADABRA variant. The
+// paper's footnote 1 observes that the parallelization applies unchanged to
+// directed and weighted graphs once the sampling kernel is swapped; the
+// abstraction makes that literal: a Workload bundles the two graph-dependent
+// ingredients — the per-thread path sampler and the phase-1 vertex-diameter
+// bound — and the generic drivers (SequentialWorkload, SharedMemoryWorkload
+// here; Algorithm1/Algorithm2 in internal/core) carry the statistical
+// machinery, context cancellation, and the OnEpoch progress hook for all of
+// them.
 
-// sampler is the per-thread sampling kernel: one call draws a uniform
+// Sampler is the per-thread sampling kernel: one call draws a uniform
 // random vertex pair and a uniform shortest path between them, returning
 // the path's internal vertices (ok=false when the pair is unreachable; the
 // sample still counts toward tau).
-type sampler interface {
+type Sampler interface {
 	Sample() (internal []graph.Node, ok bool)
 }
 
-// workload is one estimation scenario over a fixed graph.
-type workload struct {
+// Workload is one estimation scenario over a fixed graph: the vertex count,
+// an independent-sampler factory, and the phase-1 vertex-diameter resolver.
+// Construct one with UndirectedWorkload, DirectedWorkload, or
+// WeightedWorkload; the zero value is not runnable.
+type Workload struct {
 	// n is the number of vertices.
 	n int
 	// newSampler builds an independent sampling kernel over the graph; each
 	// sampling thread gets its own kernel with a split RNG stream.
-	newSampler func(r *rng.Rand) sampler
+	newSampler func(r *rng.Rand) Sampler
 	// vertexDiameter computes the phase-1 vertex-diameter bound (only
 	// called when cfg.VertexDiameter does not override it).
 	vertexDiameter func(cfg Config) int
 }
 
-// undirectedWorkload wraps the paper's standard scenario: bidirectional BFS
+// N returns the number of vertices of the underlying graph.
+func (w Workload) N() int { return w.n }
+
+// NewSampler builds an independent sampling kernel with its own RNG stream.
+func (w Workload) NewSampler(r *rng.Rand) Sampler { return w.newSampler(r) }
+
+// ResolveDiameter runs phase 1 for the workload (or uses the precomputed
+// cfg.VertexDiameter override) and reports the time spent.
+func (w Workload) ResolveDiameter(cfg Config) (int, time.Duration) {
+	if cfg.VertexDiameter > 0 {
+		return cfg.VertexDiameter, 0
+	}
+	start := time.Now()
+	vd := w.vertexDiameter(cfg)
+	return vd, time.Since(start)
+}
+
+// Validate rejects workloads the estimator cannot run: the zero Workload
+// and graphs with fewer than two vertices.
+func (w Workload) Validate() error {
+	if w.newSampler == nil || w.vertexDiameter == nil {
+		return fmt.Errorf("kadabra: zero workload (use a workload constructor)")
+	}
+	if w.n < 2 {
+		return fmt.Errorf("kadabra: need at least 2 vertices, got %d", w.n)
+	}
+	return nil
+}
+
+// UndirectedWorkload wraps the paper's standard scenario: bidirectional BFS
 // sampling on an undirected graph. This is the one workload whose exact
 // diameter phase can dominate, so it honours cfg.DiameterBFSCap; the
 // directed/weighted bounds below are already constant-sweep heuristics.
-func undirectedWorkload(g *graph.Graph) workload {
-	return workload{
+func UndirectedWorkload(g *graph.Graph) Workload {
+	return Workload{
 		n: g.NumNodes(),
-		newSampler: func(r *rng.Rand) sampler {
+		newSampler: func(r *rng.Rand) Sampler {
 			return bfs.NewSampler(g, r)
 		},
 		vertexDiameter: func(cfg Config) int {
@@ -59,13 +93,13 @@ func undirectedWorkload(g *graph.Graph) workload {
 	}
 }
 
-// directedWorkload swaps in the bidirectional sampler over out-arcs and the
+// DirectedWorkload swaps in the bidirectional sampler over out-arcs and the
 // stored transpose. The digraph must be strongly connected (graph.LargestSCC)
 // for the vertex-diameter bound to be valid.
-func directedWorkload(g *graph.Digraph) workload {
-	return workload{
+func DirectedWorkload(g *graph.Digraph) Workload {
+	return Workload{
 		n: g.NumNodes(),
-		newSampler: func(r *rng.Rand) sampler {
+		newSampler: func(r *rng.Rand) Sampler {
 			return bfs.NewDirectedSampler(g, r)
 		},
 		vertexDiameter: func(cfg Config) int {
@@ -74,12 +108,12 @@ func directedWorkload(g *graph.Digraph) workload {
 	}
 }
 
-// weightedWorkload swaps in the Dijkstra-based sampler. The graph must be
+// WeightedWorkload swaps in the Dijkstra-based sampler. The graph must be
 // connected with positive weights.
-func weightedWorkload(g *graph.WGraph) workload {
-	return workload{
+func WeightedWorkload(g *graph.WGraph) Workload {
+	return Workload{
 		n: g.NumNodes(),
-		newSampler: func(r *rng.Rand) sampler {
+		newSampler: func(r *rng.Rand) Sampler {
 			return bfs.NewWeightedSampler(g, r)
 		},
 		vertexDiameter: func(cfg Config) int {
@@ -88,21 +122,22 @@ func weightedWorkload(g *graph.WGraph) workload {
 	}
 }
 
-// resolveWorkloadDiameter runs phase 1 for a workload (or uses the
-// precomputed override), mirroring resolveVertexDiameter.
-func resolveWorkloadDiameter(w workload, cfg Config) (int, time.Duration) {
-	if cfg.VertexDiameter > 0 {
-		return cfg.VertexDiameter, 0
+// SequentialWorkload runs the plain (single-threaded) KADABRA algorithm on
+// an arbitrary workload; Sequential, SequentialDirected, and
+// SequentialWeighted are thin wrappers over it.
+func SequentialWorkload(ctx context.Context, w Workload, cfg Config) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
 	}
-	start := time.Now()
-	vd := w.vertexDiameter(cfg)
-	return vd, time.Since(start)
+	return runSequential(ctx, w, cfg)
 }
 
-// validateWorkload rejects graphs the estimator cannot work with.
-func validateWorkload(w workload) error {
-	if w.n < 2 {
-		return fmt.Errorf("kadabra: need at least 2 vertices, got %d", w.n)
+// SharedMemoryWorkload runs the epoch-based shared-memory parallelization on
+// an arbitrary workload; SharedMemory, SharedMemoryDirected, and
+// SharedMemoryWeighted are thin wrappers over it.
+func SharedMemoryWorkload(ctx context.Context, w Workload, threads int, cfg Config) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
 	}
-	return nil
+	return runSharedMemory(ctx, w, threads, cfg)
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Reproducible benchmark harness: runs the BenchmarkEstimate workload x
+# backend sweep (Sequential vs SharedMemory vs 2-rank TCP, each on the
+# undirected, directed, and weighted workloads) and emits a machine-
+# readable BENCH_estimate.json next to the raw go test output, so the
+# perf trajectory can be tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 2x)
+#   COUNT      go test -count value (default 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_estimate.json}"
+benchtime="${BENCHTIME:-2x}"
+count="${COUNT:-1}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench '^BenchmarkEstimate$' -benchtime "$benchtime" \
+    -count "$count" -timeout 30m . | tee "$raw"
+
+# Convert the benchmark lines into a JSON array. A line looks like:
+#   BenchmarkEstimate/undirected/tcp-8  2  123456789 ns/op  54321 samples/s
+# i.e. name, iterations, then (value, unit) pairs.
+awk -v benchtime="$benchtime" '
+BEGIN { print "[" ; n = 0 }
+/^BenchmarkEstimate\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip the GOMAXPROCS suffix
+    split(name, parts, "/")
+    line = sprintf("  {\"name\": \"%s\", \"workload\": \"%s\", \"backend\": \"%s\", \"benchtime\": \"%s\", \"iterations\": %s", \
+                   name, parts[2], parts[3], benchtime, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    line = line "}"
+    if (n++) print ","
+    printf "%s", line
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmark entries)"
