@@ -90,9 +90,14 @@ type DistStats struct {
 	TransitionWait time.Duration
 	// CheckTime is the stopping-condition evaluation time at rank 0.
 	CheckTime time.Duration
-	// CommVolumePerEpoch is one epoch's aggregation traffic in bytes
-	// across all links.
+	// CommVolumePerEpoch is one epoch's dense-equivalent aggregation
+	// traffic in bytes across all links — the upper bound the sparse
+	// frame encoding undercuts (compare ReduceWireBytes).
 	CommVolumePerEpoch int64
+	// ReduceWireBytes is the total size of the encoded per-epoch reduce
+	// frames this rank actually produced; with sparse frames it scales
+	// with what was sampled, not with the graph size.
+	ReduceWireBytes int64
 }
 
 // Result is the unified output of every backend.
@@ -183,6 +188,7 @@ func fromCore(backend string, cr *core.Result) *Result {
 		TransitionWait:     cr.Stats.TransitionWait,
 		CheckTime:          cr.Stats.CheckTime,
 		CommVolumePerEpoch: cr.Stats.CommVolumePerEpoch,
+		ReduceWireBytes:    cr.Stats.WireBytes,
 	}
 	return res
 }

@@ -59,7 +59,11 @@ func main() {
 		sf.Tau++
 		for v, d := range dist {
 			if d <= hops {
-				sf.C[v]++
+				// Bump keeps the sparse touched-vertex bookkeeping intact;
+				// these wide reachability samples overflow the density
+				// cutover almost immediately, so the frames settle on the
+				// dense path on their own.
+				sf.Bump(uint32(v))
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/kadabra"
 	"repro/internal/mpi"
 	"repro/internal/rng"
@@ -57,37 +58,27 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	}
 	sampler := w.NewSampler(r)
 
-	// Local state frame (S_loc in the pseudocode).
-	loc := make([]int64, n)
-	var locTau int64
-	takeSample := func() {
-		internal, ok := sampler.Sample()
-		locTau++
-		if ok {
-			for _, v := range internal {
-				loc[v]++
-			}
-		}
-	}
+	// Local state frame (S_loc in the pseudocode): sparse-tracked, so the
+	// per-epoch snapshot/encode/reset cost scales with what this rank
+	// sampled, not with n.
+	loc := cfg.newFrame(n)
+	takeSample := func() { kadabra.SampleInto(sampler, loc) }
+	overlap := cfg.overlapFn(takeSample)
 
-	// Phase 2: calibration.
+	// Phase 2: calibration. phase2 encodes loc while it holds exactly the
+	// calibration samples; reset right after so the epoch loop starts from
+	// an empty local frame.
 	cal, calCounts, calTau, calTime, err := phase2(comm, cfg, n, omega,
-		func(perThread int) ([]int64, int64) {
+		func(perThread int) *epoch.StateFrame {
 			for i := 0; i < perThread; i++ {
 				takeSample()
 			}
-			counts := make([]int64, n)
-			copy(counts, loc)
-			tau := locTau
-			for i := range loc {
-				loc[i] = 0
-			}
-			locTau = 0
-			return counts, tau
+			return loc
 		})
 	if err != nil {
 		return nil, err
 	}
+	loc.Reset()
 
 	// Aggregated state S lives at rank 0, seeded with calibration samples.
 	var S []int64
@@ -101,9 +92,9 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	// stopping condition (tiny graphs, loose eps).
 	var code int64
 	if comm.Rank() == root {
-		code = stopCode(cal.HaveToStop(S, STau), ctx.Err(), 0)
+		code = stopCode(cal.HaveToStop(S, STau), ctx.Err(), false)
 	}
-	code, err = broadcastCode(comm, root, code, takeSample)
+	code, err = broadcastCode(comm, root, code, overlap)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +103,6 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	n0 := kcfg.EpochLength(comm.Size())
 	var stats Stats
 	stats.CommVolumePerEpoch = commVolumePerEpoch(n, comm.Size())
-	snapshot := make([]int64, n)
 	var wire []byte
 	var checkTime time.Duration
 
@@ -121,17 +111,14 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		for i := 0; i < n0; i++ {
 			takeSample()
 		}
-		// Snapshot before the reduction so overlapped sampling does not
-		// mutate the communication buffer (Alg. 1 lines 7-8).
-		copy(snapshot, loc)
-		snapTau := locTau
-		for i := range loc {
-			loc[i] = 0
-		}
-		locTau = 0
-		wire = encodeFrame(wire, snapTau, snapshot, ctx.Err() != nil)
+		// Encode-then-reset replaces the dense snapshot (Alg. 1 lines 7-8):
+		// the wire buffer is the snapshot, so overlapped sampling may keep
+		// mutating loc immediately, and both steps cost O(touched).
+		wire = epoch.AppendWire(wire[:0], loc, ctx.Err() != nil)
+		loc.Reset()
+		stats.WireBytes += int64(len(wire))
 
-		reduced, bw, rt, err := aggregate(comm, cfg.Strategy, wire, takeSample)
+		reduced, bw, rt, err := aggregate(comm, cfg.Strategy, wire, overlap)
 		if err != nil {
 			return nil, err
 		}
@@ -142,11 +129,11 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		var next int64
 		if comm.Rank() == root {
 			// S += S'; d = CheckForStop(S)  (Alg. 1 lines 13-14)
-			tau, remoteCancelled := decodeFrame(reduced, snapshot)
-			STau += tau
-			for i, v := range snapshot {
-				S[i] += v
+			tau, remoteCancelled, ferr := epoch.FoldWire(reduced, S)
+			if ferr != nil {
+				return nil, fmt.Errorf("core: epoch frame: %w", ferr)
 			}
+			STau += tau
 			cs := time.Now()
 			stop := cal.HaveToStop(S, STau)
 			checkTime += time.Since(cs)
@@ -155,7 +142,7 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 			}
 			next = stopCode(stop, ctx.Err(), remoteCancelled)
 		}
-		code, err = broadcastCode(comm, root, next, takeSample)
+		code, err = broadcastCode(comm, root, next, overlap)
 		if err != nil {
 			return nil, err
 		}

@@ -68,40 +68,31 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	}
 
 	// Phase 2: calibration — all T threads of all processes sample a fixed
-	// share in parallel, then one blocking reduction (§IV-F: "Parallelizing
-	// the computation of the initial fixed number of samples is
-	// straightforward").
+	// share in parallel, then one blocking merge-reduction (§IV-F:
+	// "Parallelizing the computation of the initial fixed number of samples
+	// is straightforward"). Per-thread partials are sparse frames, merged
+	// in O(touched) per thread.
 	cal, calCounts, calTau, calTime, err := phase2(comm, cfg, n, omega,
-		func(perThread int) ([]int64, int64) {
-			counts := make([]int64, n)
-			var tau int64
-			var mu sync.Mutex
+		func(perThread int) *epoch.StateFrame {
+			merged := cfg.newFrame(n)
+			partial := make([]*epoch.StateFrame, T)
 			var wg sync.WaitGroup
 			for t := 0; t < T; t++ {
 				wg.Add(1)
 				go func(t int) {
 					defer wg.Done()
-					local := make([]int64, n)
-					var ltau int64
+					local := cfg.newFrame(n)
 					for i := 0; i < perThread; i++ {
-						internal, ok := samplers[t].Sample()
-						ltau++
-						if ok {
-							for _, v := range internal {
-								local[v]++
-							}
-						}
+						kadabra.SampleInto(samplers[t], local)
 					}
-					mu.Lock()
-					tau += ltau
-					for i, v := range local {
-						counts[i] += v
-					}
-					mu.Unlock()
+					partial[t] = local
 				}(t)
 			}
 			wg.Wait()
-			return counts, tau
+			for t := 0; t < T; t++ {
+				merged.Add(partial[t])
+			}
+			return merged
 		})
 	if err != nil {
 		return nil, err
@@ -138,6 +129,9 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 
 	// Epoch framework and sampling threads.
 	fw := epoch.New(T, n)
+	if kcfg.DenseFrames {
+		fw.ForceDense()
+	}
 	var done atomic.Bool
 	var wg sync.WaitGroup
 	for t := 1; t < T; t++ {
@@ -146,13 +140,7 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 			defer wg.Done()
 			sf := fw.Frame(t)
 			for !done.Load() {
-				internal, ok := samplers[t].Sample()
-				sf.Tau++
-				if ok {
-					for _, v := range internal {
-						sf.C[v]++
-					}
-				}
+				kadabra.SampleInto(samplers[t], sf)
 				if fw.CheckTransition(t) {
 					sf = fw.Frame(t)
 				}
@@ -166,15 +154,9 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	// transition or a communication wait the current frame is already the
 	// next epoch's, matching Alg. 2 lines 15/21/27.
 	sample0 := func() {
-		sf := fw.Frame(0)
-		internal, ok := samplers[0].Sample()
-		sf.Tau++
-		if ok {
-			for _, v := range internal {
-				sf.C[v]++
-			}
-		}
+		kadabra.SampleInto(samplers[0], fw.Frame(0))
 	}
+	overlap := cfg.overlapFn(sample0)
 
 	finish := func(stats Stats, samplingTime time.Duration, checkTime time.Duration) *Result {
 		done.Store(true)
@@ -201,9 +183,9 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	// Degenerate case: calibration alone may satisfy the stopping condition.
 	var code int64
 	if comm.Rank() == root {
-		code = stopCode(cal.HaveToStop(S, STau), ctx.Err(), 0)
+		code = stopCode(cal.HaveToStop(S, STau), ctx.Err(), false)
 	}
-	code, err = broadcastCode(comm, root, code, sample0)
+	code, err = broadcastCode(comm, root, code, overlap)
 	if err != nil {
 		done.Store(true)
 		wg.Wait()
@@ -219,7 +201,7 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 
 	samplingStart := time.Now()
 	n0 := kcfg.EpochLength(comm.Size() * T)
-	eLoc := epoch.NewStateFrame(n)
+	eLoc := cfg.newFrame(n)
 	var wire []byte
 	var checkTime time.Duration
 	var e uint64
@@ -238,19 +220,21 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		}
 		stats.TransitionWait += time.Since(ts)
 
-		// Aggregate this process's epoch-e frames (lines 16-18), gossiping
+		// Aggregate this process's epoch-e frames (lines 16-18) — O(touched
+		// across the T frames) — and encode them for the wire, gossiping
 		// this rank's context state with the reduction.
-		eLoc.Reset()
 		fw.AggregateEpoch(e, eLoc)
-		wire = encodeFrame(wire, eLoc.Tau, eLoc.C, ctx.Err() != nil)
+		wire = epoch.AppendWire(wire[:0], eLoc, ctx.Err() != nil)
+		eLoc.Reset()
+		stats.WireBytes += int64(len(wire))
 
 		// Inter-process aggregation (lines 19-21), hierarchical per §IV-E:
-		// node-local blocking reduce (the shared-memory analogue), then the
-		// strategy-selected global aggregation among node leaders.
+		// node-local blocking merge-reduce (the shared-memory analogue),
+		// then the strategy-selected global aggregation among node leaders.
 		var reduced []byte
 		payload := wire
 		if hierarchical {
-			lres, lerr := local.Reduce(0, payload, mpi.SumInt64)
+			lres, lerr := local.ReduceMerge(0, payload, epoch.MergeWire)
 			if lerr != nil {
 				done.Store(true)
 				wg.Wait()
@@ -260,7 +244,7 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		}
 		if !hierarchical || local.Rank() == 0 {
 			var bw, rt time.Duration
-			reduced, bw, rt, err = aggregate(global, cfg.Strategy, payload, sample0)
+			reduced, bw, rt, err = aggregate(global, cfg.Strategy, payload, overlap)
 			if err != nil {
 				done.Store(true)
 				wg.Wait()
@@ -275,11 +259,13 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		// (lines 22-24).
 		var next int64
 		if comm.Rank() == root {
-			tau, remoteCancelled := decodeFrame(reduced, eLoc.C)
-			STau += tau
-			for i, v := range eLoc.C {
-				S[i] += v
+			tau, remoteCancelled, ferr := epoch.FoldWire(reduced, S)
+			if ferr != nil {
+				done.Store(true)
+				wg.Wait()
+				return nil, fmt.Errorf("core: epoch frame: %w", ferr)
 			}
+			STau += tau
 			cs := time.Now()
 			stop := cal.HaveToStop(S, STau)
 			checkTime += time.Since(cs)
@@ -290,7 +276,7 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		}
 
 		// Broadcast the termination code with overlap (lines 25-27).
-		code, err = broadcastCode(comm, root, next, sample0)
+		code, err = broadcastCode(comm, root, next, overlap)
 		if err != nil {
 			done.Store(true)
 			wg.Wait()

@@ -23,8 +23,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/kadabra"
 	"repro/internal/mpi"
 )
@@ -80,6 +82,13 @@ type Config struct {
 	// be cheap; it is intended for progress reporting and convergence
 	// tracing.
 	OnEpoch func(epoch int, tau int64)
+	// NoOverlap disables overlap sampling during communication waits
+	// (barrier polls, non-blocking reductions and broadcasts yield instead
+	// of sampling). With Threads <= 1 every rank then takes exactly n0
+	// samples per epoch, making runs schedule-independent; it exists for
+	// the dense-vs-sparse equivalence tests and as an ablation of the
+	// paper's overlap story. Leave it off otherwise.
+	NoOverlap bool
 }
 
 func (c Config) threads() int {
@@ -100,11 +109,18 @@ type Stats struct {
 	BarrierWait time.Duration
 	// ReduceTime is the non-overlapped blocking-aggregation time.
 	ReduceTime time.Duration
-	// CommVolumePerEpoch is the aggregation traffic of one epoch in bytes
-	// across all links (Table II "Com."): the reduction moves one
-	// (|V|+2)-int64 frame over each of the P-1 tree edges, plus the
-	// termination broadcast codes.
+	// CommVolumePerEpoch is the DENSE-equivalent aggregation traffic of one
+	// epoch in bytes across all links (Table II "Com."): one (|V|+2)-int64
+	// frame over each of the P-1 tree edges, plus the termination broadcast
+	// codes. It is the upper bound the sparse wire encoding undercuts;
+	// compare WireBytes for what this rank actually shipped.
 	CommVolumePerEpoch int64
+	// WireBytes is the total size of the encoded per-epoch reduce frames
+	// this rank produced (its own leaf frames; partial aggregates forwarded
+	// up the reduction tree are counted by the mpi layer's sends, not
+	// here). Divide by Epochs for the per-rank-epoch average; with sparse
+	// frames it sits far below CommVolumePerEpoch/(P-1) on large graphs.
+	WireBytes int64
 	// CheckTime is the stopping-condition evaluation time at rank 0.
 	CheckTime time.Duration
 	// TransitionWait is the time spent waiting for epoch transitions
@@ -125,8 +141,11 @@ type Result struct {
 // state carries no (eps, delta) guarantee.
 var ErrRemoteCancelled = errors.New("core: run cancelled on a remote rank")
 
-// frameBytes returns the wire size of one state frame for an n-vertex
-// graph: tau, the per-vertex counts, and the cancellation flag.
+// frameBytes returns the dense wire size of one state frame for an
+// n-vertex graph: tau, the per-vertex counts, and the cancellation flag.
+// The sparse encoding (internal/epoch wire.go) undercuts this whenever an
+// epoch touches fewer than n/8 vertices; frameBytes remains the reported
+// upper bound so CommVolumePerEpoch stays comparable across runs.
 func frameBytes(n int) int64 { return int64(n+2) * 8 }
 
 func commVolumePerEpoch(n, procs int) int64 {
@@ -134,6 +153,25 @@ func commVolumePerEpoch(n, procs int) int64 {
 		return 0
 	}
 	return int64(procs-1)*frameBytes(n) + 8*int64(procs-1)
+}
+
+// overlapFn returns the function run while polling non-blocking
+// communication: the paper overlaps sampling with every wait; NoOverlap
+// substitutes a scheduler yield for determinism/ablation runs.
+func (c Config) overlapFn(sample func()) func() {
+	if c.NoOverlap {
+		return runtime.Gosched
+	}
+	return sample
+}
+
+// newFrame builds a state frame honouring cfg.DenseFrames.
+func (c Config) newFrame(n int) *epoch.StateFrame {
+	sf := epoch.NewStateFrame(n)
+	if c.DenseFrames {
+		sf.ForceDense()
+	}
+	return sf
 }
 
 // phase1 computes the vertex diameter at world rank 0 (the paper uses a
@@ -157,42 +195,17 @@ func phase1(w kadabra.Workload, comm *mpi.Comm, cfg Config) (vd int, elapsed tim
 	return int(dec[0]), elapsed, nil
 }
 
-// encodeFrame serializes (tau, counts, cancelled) into buf (resized as
-// needed). The trailing cancellation flag rides along with the sum
-// reduction, so any rank's context cancellation reaches rank 0 within one
-// epoch without extra messages.
-func encodeFrame(buf []byte, tau int64, counts []int64, cancelled bool) []byte {
-	buf = buf[:0]
-	buf = mpi.EncodeInt64s(buf, []int64{tau})
-	buf = mpi.EncodeInt64s(buf, counts)
-	var flag int64
-	if cancelled {
-		flag = 1
-	}
-	return mpi.EncodeInt64s(buf, []int64{flag})
-}
-
-// decodeFrame deserializes a frame produced by encodeFrame. After a sum
-// reduction, cancelled > 0 means at least one contributing rank had a
-// cancelled context.
-func decodeFrame(buf []byte, counts []int64) (tau, cancelled int64) {
-	head := make([]int64, 1)
-	mpi.DecodeInt64s(head, buf[:8])
-	mpi.DecodeInt64s(counts, buf[8:8+8*len(counts)])
-	tail := make([]int64, 1)
-	mpi.DecodeInt64s(tail, buf[len(buf)-8:])
-	return head[0], tail[0]
-}
-
 // phase2 runs the calibration: every thread of every process takes an equal
 // share of tau0 = omega/StartFactor samples ("pleasingly parallel", §V-B),
 // a blocking reduction lands the counts at world rank 0, and rank 0 derives
 // the per-vertex failure budgets. Non-root ranks return cal == nil.
 //
-// sample(threadIdx, record) must take one sample with the given thread's
-// sampler and invoke record(internalVertices).
+// sampleBatch(perThread) must take perThread samples per local thread and
+// return the process-local state frame; phase2 encodes it (sparse or dense
+// as the frame decided) and merge-reduces the encodings, so calibration
+// traffic scales with what was sampled just like the epoch loop's.
 func phase2(comm *mpi.Comm, cfg Config, n int, omega float64,
-	sampleBatch func(perThread int) (counts []int64, tau int64),
+	sampleBatch func(perThread int) *epoch.StateFrame,
 ) (cal *kadabra.Calibration, calCounts []int64, calTau int64, elapsed time.Duration, err error) {
 	start := time.Now()
 	kcfg := cfg.Config
@@ -203,32 +216,36 @@ func phase2(comm *mpi.Comm, cfg Config, n int, omega float64,
 	totalWorkers := comm.Size() * cfg.threads()
 	perThread := int(tau0)/totalWorkers + 1
 
-	counts, tau := sampleBatch(perThread)
-	buf := encodeFrame(nil, tau, counts, false)
-	res, err := comm.Reduce(0, buf, mpi.SumInt64)
+	local := sampleBatch(perThread)
+	buf := epoch.AppendWire(nil, local, false)
+	res, err := comm.ReduceMerge(0, buf, epoch.MergeWire)
 	if err != nil {
 		return nil, nil, 0, 0, fmt.Errorf("core: calibration reduce: %w", err)
 	}
 	if comm.Rank() == 0 {
 		calCounts = make([]int64, n)
-		calTau, _ = decodeFrame(res, calCounts)
+		calTau, _, err = epoch.FoldWire(res, calCounts)
+		if err != nil {
+			return nil, nil, 0, 0, fmt.Errorf("core: calibration frame: %w", err)
+		}
 		cal = kadabra.Calibrate(calCounts, calTau, omega, kcfg.Eps, kcfg.Delta)
 	}
 	return cal, calCounts, calTau, time.Since(start), nil
 }
 
 // aggregate performs one epoch's inter-process aggregation of the local
-// frame (already node-locally merged by the caller when hierarchy is on),
-// following the configured strategy, while overlap() is invoked repeatedly
-// during non-blocking waits. It returns the reduced frame at rank 0 (nil
-// elsewhere) plus the time spent in the barrier poll and in the blocking
-// reduction.
+// frame encoding (already node-locally merged by the caller when hierarchy
+// is on), following the configured strategy, while overlap() is invoked
+// repeatedly during non-blocking waits. It returns the reduced frame at
+// rank 0 (nil elsewhere) plus the time spent in the barrier poll and in the
+// blocking reduction. Frames flow through the variable-length merge
+// reduction, so a sparse epoch costs O(touched) per tree edge end to end.
 func aggregate(comm *mpi.Comm, strategy AggStrategy, buf []byte, overlap func()) (
 	reduced []byte, barrierWait, reduceTime time.Duration, err error,
 ) {
 	switch strategy {
 	case AggIReduce:
-		req := comm.IReduce(0, buf, mpi.SumInt64)
+		req := comm.IReduceMerge(0, buf, epoch.MergeWire)
 		bs := time.Now()
 		for !req.Test() {
 			overlap()
@@ -238,7 +255,7 @@ func aggregate(comm *mpi.Comm, strategy AggStrategy, buf []byte, overlap func())
 		return reduced, barrierWait, 0, err
 	case AggBlocking:
 		rs := time.Now()
-		reduced, err = comm.Reduce(0, buf, mpi.SumInt64)
+		reduced, err = comm.ReduceMerge(0, buf, epoch.MergeWire)
 		return reduced, 0, time.Since(rs), err
 	default: // AggIBarrierReduce
 		req := comm.IBarrier()
@@ -251,7 +268,7 @@ func aggregate(comm *mpi.Comm, strategy AggStrategy, buf []byte, overlap func())
 			return nil, barrierWait, 0, err
 		}
 		rs := time.Now()
-		reduced, err = comm.Reduce(0, buf, mpi.SumInt64)
+		reduced, err = comm.ReduceMerge(0, buf, epoch.MergeWire)
 		return reduced, barrierWait, time.Since(rs), err
 	}
 }
@@ -288,9 +305,9 @@ func broadcastCode(comm *mpi.Comm, root int, code int64, overlap func()) (int64,
 
 // stopCode folds the local stopping decision, the local context, and the
 // remotely-gossiped cancellations into the code rank 0 broadcasts.
-func stopCode(stop bool, localErr error, remoteCancelled int64) int64 {
+func stopCode(stop bool, localErr error, remoteCancelled bool) int64 {
 	switch {
-	case localErr != nil || remoteCancelled > 0:
+	case localErr != nil || remoteCancelled:
 		return codeCancelled
 	case stop:
 		return codeStop

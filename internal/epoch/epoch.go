@@ -24,6 +24,21 @@
 // has begun (paper §IV-C), so frames are reused ping-pong style. Thread 0
 // zeroes a frame right after consuming it, which happens strictly before
 // the owning thread can reach the epoch that writes it again.
+//
+// # Sparse state frames
+//
+// One epoch only increments a vanishing fraction of the count vector: the
+// coordinator takes n0 = EpochBase/W^EpochSkew samples per epoch and each
+// sample touches ~avg-path-length vertices, so for large n the per-epoch
+// aggregate/reset cost would be dominated by O(T·n) dense vector work, not
+// by what was actually sampled. StateFrame therefore maintains a
+// touched-vertex list on first increment: samplers record counts through
+// Bump, and Reset, Add, and AggregateEpoch run in O(touched) instead of
+// O(n). When an epoch touches more than DenseCutover(n) distinct vertices
+// the frame abandons the list and falls back to dense iteration, so
+// huge-epoch (or tiny-graph) runs never regress past the classic dense
+// cost. The same representation feeds the MPI reduction wire format (see
+// wire.go), so aggregation cost scales with samples everywhere.
 package epoch
 
 import (
@@ -31,33 +46,131 @@ import (
 	"sync/atomic"
 )
 
+// DenseCutover returns the touched-vertex count above which a frame of
+// vector length n abandons sparse tracking: past n/8 distinct vertices the
+// dense sequential sweep is at least as cheap as random-access sparse
+// iteration plus list maintenance. The floor keeps tiny frames trivially
+// sparse (a list of up to 16 vertices is always cheap to maintain).
+func DenseCutover(n int) int {
+	c := n / 8
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
 // StateFrame is one thread's sampling state for one epoch: the number of
-// samples Tau and the per-vertex path counts C (c-tilde in the paper). The
-// same representation feeds the MPI reduction in the distributed algorithm,
-// so aggregation is a single vector addition everywhere.
+// samples Tau and the per-vertex path counts C (c-tilde in the paper).
+//
+// All mutation must go through Bump, Add, and Reset so the touched-vertex
+// bookkeeping stays consistent; C is exported for read access only
+// (stopping checks, finalization). The zero value is not usable; call
+// NewStateFrame.
 type StateFrame struct {
 	Tau int64
 	C   []int64
+
+	// touched lists the vertices with C[v] != 0, in first-increment order,
+	// while the frame is sparse. Meaningless once dense.
+	touched []uint32
+	// dense marks that the touched list overflowed DenseCutover (or was
+	// forced off): Reset and Add iterate the full vector.
+	dense bool
+	// alwaysDense pins the frame to the dense path (ForceDense): the
+	// ablation/equivalence hook that reproduces the pre-sparse behavior.
+	alwaysDense bool
+	cutover     int
 }
 
 // NewStateFrame returns a zeroed state frame of the given vector length.
 func NewStateFrame(n int) *StateFrame {
-	return &StateFrame{C: make([]int64, n)}
+	return &StateFrame{C: make([]int64, n), cutover: DenseCutover(n)}
 }
 
-// Reset zeroes the frame in place.
+// ForceDense pins the frame to dense iteration permanently (survives
+// Reset). It exists for the dense-vs-sparse equivalence tests and as an
+// ablation of the sparse representation.
+func (sf *StateFrame) ForceDense() {
+	sf.alwaysDense = true
+	sf.dense = true
+	sf.touched = nil
+}
+
+// Dense reports whether the frame is currently on the dense path.
+func (sf *StateFrame) Dense() bool { return sf.dense }
+
+// TouchedLen returns the number of distinct touched vertices while sparse;
+// it is meaningless (0) on the dense path.
+func (sf *StateFrame) TouchedLen() int { return len(sf.touched) }
+
+// Bump increments C[v] by one, recording v in the touched list on its
+// first increment. This is the sampler-facing hot path: one bounds-checked
+// load, one predictable branch, one store in the common case.
+func (sf *StateFrame) Bump(v uint32) {
+	if sf.C[v] == 0 && !sf.dense {
+		sf.touch(v)
+	}
+	sf.C[v]++
+}
+
+// AddCount adds c to C[v] with touched-list maintenance: the bulk variant
+// of Bump for callers that replay aggregated counts into a frame (simnet's
+// wire-size model). It does not advance Tau.
+func (sf *StateFrame) AddCount(v uint32, c int64) { sf.addCount(v, c) }
+
+// addCount adds c (> 0 in practice) to C[v] with touched maintenance.
+func (sf *StateFrame) addCount(v uint32, c int64) {
+	if c == 0 {
+		return
+	}
+	if sf.C[v] == 0 && !sf.dense {
+		sf.touch(v)
+	}
+	sf.C[v] += c
+}
+
+// touch appends v to the touched list, flipping to dense at the cutover.
+func (sf *StateFrame) touch(v uint32) {
+	if len(sf.touched) >= sf.cutover {
+		sf.dense = true
+		sf.touched = sf.touched[:0]
+		return
+	}
+	sf.touched = append(sf.touched, v)
+}
+
+// Reset zeroes the frame in place: O(touched) while sparse, O(n) once
+// dense. A dense frame returns to sparse tracking (unless ForceDense'd) —
+// the next epoch starts with an empty touched list either way.
 func (sf *StateFrame) Reset() {
 	sf.Tau = 0
-	for i := range sf.C {
-		sf.C[i] = 0
+	if sf.dense {
+		clear(sf.C)
+		sf.dense = sf.alwaysDense
+		return
 	}
+	for _, v := range sf.touched {
+		sf.C[v] = 0
+	}
+	sf.touched = sf.touched[:0]
 }
 
-// Add accumulates src into sf.
+// Add accumulates src into sf in O(src touched) while src is sparse (O(n)
+// once src is dense). The destination maintains its own touched list, so
+// accumulator frames (the global state S) cut over to dense on their own
+// as they fill up.
 func (sf *StateFrame) Add(src *StateFrame) {
 	sf.Tau += src.Tau
-	for i, v := range src.C {
-		sf.C[i] += v
+	if src.dense {
+		for i, c := range src.C {
+			if c != 0 {
+				sf.addCount(uint32(i), c)
+			}
+		}
+		return
+	}
+	for _, v := range src.touched {
+		sf.addCount(v, src.C[v])
 	}
 }
 
@@ -91,6 +204,16 @@ func New(t, n int) *Framework {
 		f.frames[i] = [2]*StateFrame{NewStateFrame(n), NewStateFrame(n)}
 	}
 	return f
+}
+
+// ForceDense pins every frame of the framework to the dense path (the
+// pre-sparse behavior); see StateFrame.ForceDense. Call before any
+// sampling starts.
+func (f *Framework) ForceDense() {
+	for i := range f.frames {
+		f.frames[i][0].ForceDense()
+		f.frames[i][1].ForceDense()
+	}
 }
 
 // Threads returns T.
@@ -155,7 +278,9 @@ func (f *Framework) TransitionDone(e uint64) bool {
 // AggregateEpoch sums every thread's frame of epoch e into dst and zeroes
 // the source frames for reuse. It must only be called by thread 0, after
 // TransitionDone(e+1) has returned true (so the epoch-e frames are frozen).
-// dst must have the same vector length as the frames.
+// dst must have the same vector length as the frames. The cost is
+// O(total touched vertices) across the T frames, not O(T·n), unless a
+// frame overflowed its density cutover.
 func (f *Framework) AggregateEpoch(e uint64, dst *StateFrame) {
 	for t := 0; t < f.t; t++ {
 		src := f.frames[t][e&1]

@@ -8,18 +8,112 @@ import (
 	"repro/internal/rng"
 )
 
+// bumpN records c increments of vertex v.
+func bumpN(sf *StateFrame, v uint32, c int64) {
+	for i := int64(0); i < c; i++ {
+		sf.Bump(v)
+	}
+}
+
 func TestStateFrameAddReset(t *testing.T) {
 	a := NewStateFrame(3)
 	b := NewStateFrame(3)
-	a.Tau, a.C[0], a.C[2] = 5, 1, 2
-	b.Tau, b.C[0], b.C[1] = 7, 10, 20
+	a.Tau = 5
+	bumpN(a, 0, 1)
+	bumpN(a, 2, 2)
+	b.Tau = 7
+	bumpN(b, 0, 10)
+	bumpN(b, 1, 20)
 	b.Add(a)
 	if b.Tau != 12 || b.C[0] != 11 || b.C[1] != 20 || b.C[2] != 2 {
 		t.Fatalf("Add wrong: %+v", b)
 	}
 	a.Reset()
-	if a.Tau != 0 || a.C[0] != 0 || a.C[2] != 0 {
+	if a.Tau != 0 || a.C[0] != 0 || a.C[2] != 0 || a.TouchedLen() != 0 {
 		t.Fatalf("Reset wrong: %+v", a)
+	}
+}
+
+// TestStateFrameSparseDenseEquivalence drives a sparse frame and a
+// force-dense frame through the same randomized Bump/Add/Reset schedule and
+// demands identical counts throughout, including across the density
+// cutover.
+func TestStateFrameSparseDenseEquivalence(t *testing.T) {
+	const n = 512
+	r := rng.NewRand(7)
+	sparse := NewStateFrame(n)
+	dense := NewStateFrame(n)
+	dense.ForceDense()
+	othS, othD := NewStateFrame(n), NewStateFrame(n)
+	othD.ForceDense()
+	check := func(step string) {
+		t.Helper()
+		for v := 0; v < n; v++ {
+			if sparse.C[v] != dense.C[v] {
+				t.Fatalf("%s: C[%d] sparse %d dense %d", step, v, sparse.C[v], dense.C[v])
+			}
+		}
+		if sparse.Tau != dense.Tau {
+			t.Fatalf("%s: tau sparse %d dense %d", step, sparse.Tau, dense.Tau)
+		}
+	}
+	for round := 0; round < 10; round++ {
+		// Bump enough distinct vertices that some rounds cross the cutover.
+		bumps := 1 + r.Intn(2*DenseCutover(n))
+		for i := 0; i < bumps; i++ {
+			v := uint32(r.Intn(n))
+			sparse.Bump(v)
+			dense.Bump(v)
+			sparse.Tau++
+			dense.Tau++
+		}
+		for i := 0; i < 32; i++ {
+			v := uint32(r.Intn(n))
+			othS.Bump(v)
+			othD.Bump(v)
+		}
+		othS.Tau++
+		othD.Tau++
+		sparse.Add(othS)
+		dense.Add(othD)
+		check("after add")
+		if round%3 == 2 {
+			sparse.Reset()
+			dense.Reset()
+			othS.Reset()
+			othD.Reset()
+			check("after reset")
+		}
+	}
+}
+
+func TestStateFrameCutover(t *testing.T) {
+	const n = 1024
+	sf := NewStateFrame(n)
+	cut := DenseCutover(n)
+	for v := 0; v < cut; v++ {
+		sf.Bump(uint32(v))
+	}
+	if sf.Dense() {
+		t.Fatalf("frame went dense at exactly %d touched (cutover %d)", sf.TouchedLen(), cut)
+	}
+	sf.Bump(uint32(cut)) // one past the cutover
+	if !sf.Dense() {
+		t.Fatal("frame did not go dense past the cutover")
+	}
+	for v := 0; v <= cut; v++ {
+		if sf.C[v] != 1 {
+			t.Fatalf("count lost across cutover at %d", v)
+		}
+	}
+	sf.Reset()
+	if sf.Dense() {
+		t.Fatal("Reset did not restore sparse tracking")
+	}
+	for v := 0; v <= cut; v++ {
+		if sf.C[v] != 0 {
+			t.Fatalf("Reset left residue at %d", v)
+		}
 	}
 }
 
@@ -84,7 +178,7 @@ func TestNoLostSamplesUnderConcurrency(t *testing.T) {
 			for !stop.Load() {
 				// take a "sample"
 				sf.Tau++
-				sf.C[r.Intn(vecLen)]++
+				sf.Bump(uint32(r.Intn(vecLen)))
 				produced[th]++
 				if f.CheckTransition(th) {
 					sf = f.Frame(th)
@@ -104,14 +198,14 @@ func TestNoLostSamplesUnderConcurrency(t *testing.T) {
 		sf := f.Frame(0)
 		for i := 0; i < 100; i++ {
 			sf.Tau++
-			sf.C[r.Intn(vecLen)]++
+			sf.Bump(uint32(r.Intn(vecLen)))
 			produced[0]++
 		}
 		f.ForceTransition()
 		nf := f.Frame(0)
 		for !f.TransitionDone(e + 1) {
 			nf.Tau++
-			nf.C[r.Intn(vecLen)]++
+			nf.Bump(uint32(r.Intn(vecLen)))
 			produced[0]++
 		}
 		f.AggregateEpoch(e, total)

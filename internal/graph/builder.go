@@ -49,12 +49,18 @@ func (b *Builder) NumPendingEdges() int { return len(b.edges) }
 // Build produces the CSR graph, deduplicating edges.
 func (b *Builder) Build() *Graph {
 	// Sort canonical (u<v) edges, deduplicate, then count both directions.
-	sort.Slice(b.edges, func(i, j int) bool {
+	// Round-tripped files and generator outputs frequently arrive already
+	// sorted, so check first: the O(m) sortedness scan skips the full
+	// O(m log m) re-sort on the load path.
+	less := func(i, j int) bool {
 		if b.edges[i].u != b.edges[j].u {
 			return b.edges[i].u < b.edges[j].u
 		}
 		return b.edges[i].v < b.edges[j].v
-	})
+	}
+	if !sort.SliceIsSorted(b.edges, less) {
+		sort.Slice(b.edges, less)
+	}
 	dedup := b.edges[:0]
 	var last edge = edge{InvalidNode, InvalidNode}
 	for _, e := range b.edges {

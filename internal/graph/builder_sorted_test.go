@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The builders skip their O(m log m) edge sort when the input is already
+// sorted (the round-tripped-file load path). These tests pin that the fast
+// path produces graphs identical to the sorted path.
+
+func shuffledCopy(r *rng.Rand, edges [][2]Node) [][2]Node {
+	out := append([][2]Node(nil), edges...)
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func sameGraph(a, b *Graph) bool {
+	if len(a.Offsets) != len(b.Offsets) || len(a.Adj) != len(b.Adj) {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildSortedInputFastPath(t *testing.T) {
+	r := rng.NewRand(3)
+	const n = 200
+	// Sorted canonical input, with duplicates sprinkled in.
+	var sorted [][2]Node
+	for u := 0; u < n; u++ {
+		for k := 0; k < 4; k++ {
+			v := u + 1 + r.Intn(n-u)
+			if v < n {
+				sorted = append(sorted, [2]Node{Node(u), Node(v)})
+			}
+		}
+	}
+	gSorted := FromEdges(n, sorted)
+	gShuffled := FromEdges(n, shuffledCopy(r, sorted))
+	if !sameGraph(gSorted, gShuffled) {
+		t.Fatal("sorted-input fast path and shuffled input disagree")
+	}
+}
+
+func TestBuildRoundTripStable(t *testing.T) {
+	// A written edge list reloads through the mostly-sorted fast path
+	// (ReadEdgeList renumbers by first appearance, so only the structure is
+	// preserved): vertex count, edge count, and the degree multiset must
+	// survive the round trip.
+	r := rng.NewRand(4)
+	b := NewBuilder(120)
+	for i := 0; i < 700; i++ {
+		b.AddEdge(Node(r.Intn(120)), Node(r.Intn(120)))
+	}
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	degrees := func(gr *Graph) []int {
+		d := make([]int, 0, gr.NumNodes())
+		for v := 0; v < gr.NumNodes(); v++ {
+			d = append(d, len(gr.Neighbors(Node(v))))
+		}
+		sort.Ints(d)
+		return d
+	}
+	da, db := degrees(g), degrees(g2)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("round trip changed the degree multiset")
+		}
+	}
+}
+
+func TestFromArcsSortedInputFastPath(t *testing.T) {
+	r := rng.NewRand(5)
+	const n = 120
+	var sorted [][2]Node
+	for u := 0; u < n; u++ {
+		sorted = append(sorted, [2]Node{Node(u), Node((u + 1) % n)})
+		for k := 0; k < 3; k++ {
+			sorted = append(sorted, [2]Node{Node(u), Node(r.Intn(n))})
+		}
+	}
+	// Canonical sort so one input genuinely takes the pre-sorted fast path.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	gShuffled := FromArcs(n, shuffledCopy(r, sorted))
+	var out1, out2 bytes.Buffer
+	if err := WriteArcList(&out1, FromArcs(n, sorted)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteArcList(&out2, gShuffled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("FromArcs fast path and shuffled input disagree")
+	}
+}
+
+func TestFromWeightedEdgesSortedInputFastPath(t *testing.T) {
+	r := rng.NewRand(6)
+	const n = 90
+	var edges []WeightedEdge
+	for u := 0; u < n-1; u++ {
+		edges = append(edges, WeightedEdge{U: Node(u), V: Node(u + 1), W: uint32(1 + r.Intn(9))})
+		if u+2 < n {
+			// V >= u+2 keeps (U,V) strictly increasing, so the list is
+			// genuinely pre-sorted.
+			edges = append(edges, WeightedEdge{U: Node(u), V: Node(u + 2 + r.Intn(n-u-2)), W: uint32(1 + r.Intn(9))})
+		}
+	}
+	shuffled := append([]WeightedEdge(nil), edges...)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	a, err := FromWeightedEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := FromWeightedEdges(n, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out1, out2 bytes.Buffer
+	if err := WriteWeightedEdgeList(&out1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteWeightedEdgeList(&out2, bg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("FromWeightedEdges fast path and shuffled input disagree")
+	}
+}

@@ -51,12 +51,16 @@ func FromArcs(n int, arcs [][2]Node) *Digraph {
 			clean = append(clean, a)
 		}
 	}
-	sort.Slice(clean, func(i, j int) bool {
+	less := func(i, j int) bool {
 		if clean[i][0] != clean[j][0] {
 			return clean[i][0] < clean[j][0]
 		}
 		return clean[i][1] < clean[j][1]
-	})
+	}
+	// Round-tripped arc lists arrive sorted; skip the O(m log m) re-sort.
+	if !sort.SliceIsSorted(clean, less) {
+		sort.Slice(clean, less)
+	}
 	dedup := clean[:0]
 	last := [2]Node{InvalidNode, InvalidNode}
 	for _, a := range clean {

@@ -61,7 +61,7 @@ func FromWeightedEdges(n int, edges []WeightedEdge) (*WGraph, error) {
 		}
 		canon = append(canon, e)
 	}
-	sort.Slice(canon, func(i, j int) bool {
+	less := func(i, j int) bool {
 		if canon[i].U != canon[j].U {
 			return canon[i].U < canon[j].U
 		}
@@ -69,7 +69,11 @@ func FromWeightedEdges(n int, edges []WeightedEdge) (*WGraph, error) {
 			return canon[i].V < canon[j].V
 		}
 		return canon[i].W < canon[j].W
-	})
+	}
+	// Round-tripped edge lists arrive sorted; skip the O(m log m) re-sort.
+	if !sort.SliceIsSorted(canon, less) {
+		sort.Slice(canon, less)
+	}
 	dedup := canon[:0]
 	for _, e := range canon {
 		if len(dedup) > 0 && dedup[len(dedup)-1].U == e.U && dedup[len(dedup)-1].V == e.V {

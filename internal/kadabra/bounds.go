@@ -24,6 +24,7 @@ package kadabra
 
 import (
 	"math"
+	"sort"
 )
 
 // universalC is the constant c in the omega formula. Borassi & Natale show
@@ -60,8 +61,14 @@ func FBound(btilde float64, deltaL, omega float64, tau int64) float64 {
 	if tau <= 0 {
 		return btilde
 	}
+	return fBoundLog(btilde, math.Log(1/deltaL), omega, tau)
+}
+
+// fBoundLog is FBound with log(1/deltaL) precomputed — the stopping check
+// evaluates the bounds once per vertex per epoch, and the log is the single
+// most expensive term, so Calibrate caches it per vertex.
+func fBoundLog(btilde, logD, omega float64, tau int64) float64 {
 	ft := float64(tau)
-	logD := math.Log(1 / deltaL)
 	tmp := omega/ft - 1.0/3
 	errChern := logD / ft * (-tmp + math.Sqrt(tmp*tmp+2*btilde*omega/logD))
 	return math.Min(errChern, btilde)
@@ -74,8 +81,12 @@ func GBound(btilde float64, deltaU, omega float64, tau int64) float64 {
 	if tau <= 0 {
 		return 1 - btilde
 	}
+	return gBoundLog(btilde, math.Log(1/deltaU), omega, tau)
+}
+
+// gBoundLog is GBound with log(1/deltaU) precomputed.
+func gBoundLog(btilde, logD, omega float64, tau int64) float64 {
 	ft := float64(tau)
-	logD := math.Log(1 / deltaU)
 	tmp := omega/ft + 1.0/3
 	errChern := logD / ft * (tmp + math.Sqrt(tmp*tmp+2*btilde*omega/logD))
 	return math.Min(errChern, 1-btilde)
@@ -89,6 +100,14 @@ type Calibration struct {
 	// Omega is carried along for convenience.
 	Omega float64
 	Eps   float64
+
+	// Derived state for the amortized stopping check (see HaveToStop):
+	// cached logs, the sweep order, and the last vertex that failed the
+	// bounds. Populated by Calibrate; recomputed lazily for hand-built
+	// Calibrations.
+	logDL, logDU []float64
+	order        []uint32
+	lastFail     int32
 }
 
 // balancingFactor is the fraction of the adaptive budget spread uniformly
@@ -160,7 +179,38 @@ func Calibrate(counts []int64, tau0 int64, omega, eps, delta float64) *Calibrati
 		cal.DeltaL[v] = d
 		cal.DeltaU[v] = d
 	}
+	cal.deriveCheckState(counts)
 	return cal
+}
+
+// deriveCheckState precomputes what the per-epoch stopping check needs:
+// log(1/deltaL[v]) and log(1/deltaU[v]) (so HaveToStop performs no math.Log
+// at all), and the sweep order — vertices in descending calibration-count
+// order, ties broken by vertex ID for determinism. High-count vertices have
+// the largest btilde and are the stopping bottleneck, so sweeping them
+// first makes the expected position of the first failing vertex O(1).
+func (cal *Calibration) deriveCheckState(counts []int64) {
+	n := len(cal.DeltaL)
+	cal.logDL = make([]float64, n)
+	cal.logDU = make([]float64, n)
+	for v := 0; v < n; v++ {
+		cal.logDL[v] = math.Log(1 / cal.DeltaL[v])
+		cal.logDU[v] = math.Log(1 / cal.DeltaU[v])
+	}
+	cal.order = make([]uint32, n)
+	for v := range cal.order {
+		cal.order[v] = uint32(v)
+	}
+	if counts != nil {
+		sort.Slice(cal.order, func(i, j int) bool {
+			a, b := cal.order[i], cal.order[j]
+			if counts[a] != counts[b] {
+				return counts[a] > counts[b]
+			}
+			return a < b
+		})
+	}
+	cal.lastFail = -1
 }
 
 // TotalBudget returns sum_v (DeltaL[v] + DeltaU[v]); the guarantee requires
@@ -179,10 +229,22 @@ func (cal *Calibration) TotalBudget() float64 {
 // g(btilde(x), deltaU(x), omega, tau) < eps hold simultaneously for every
 // vertex x, or when tau has reached omega (the non-adaptive fallback).
 //
-// The functions f and g are not monotone in the state (paper §III-B), which
-// is why callers must never evaluate this on a state that is concurrently
-// mutated — the epoch framework and the MPI snapshotting exist precisely to
-// provide frozen states.
+// The check is amortized O(1) per epoch: the last vertex that failed the
+// bounds is re-checked first (in a long run the same bottleneck vertex
+// fails for many consecutive epochs, so most calls return after one
+// two-bound evaluation), and the sweep otherwise proceeds in descending
+// calibration-count order with cached logs, exiting at the first failure.
+// The functions f and g are NOT monotone in the state (paper §III-B
+// footnote), so no vertex is ever permanently pruned: a full sweep over all
+// n vertices still runs before the check may return true, and the
+// early-exit/ordering/caching never change the boolean outcome — only how
+// fast a failing state is recognized. The non-monotonicity is also why
+// callers must never evaluate this on a state that is concurrently mutated;
+// the epoch framework and the MPI snapshotting exist precisely to provide
+// frozen states.
+//
+// HaveToStop updates the cached failing vertex, so it is not safe for
+// concurrent use (it never was: consistent states are single-consumer).
 func (cal *Calibration) HaveToStop(counts []int64, tau int64) bool {
 	if tau <= 0 {
 		return false
@@ -190,15 +252,33 @@ func (cal *Calibration) HaveToStop(counts []int64, tau int64) bool {
 	if float64(tau) >= cal.Omega {
 		return true
 	}
+	if cal.logDL == nil {
+		// Hand-built Calibration (tests): derive lazily, natural order.
+		cal.deriveCheckState(nil)
+	}
 	ft := float64(tau)
-	for v, c := range counts {
-		bt := float64(c) / ft
-		if FBound(bt, cal.DeltaL[v], cal.Omega, tau) >= cal.Eps {
-			return false
+	last := cal.lastFail
+	if last >= 0 && cal.vertexFails(uint32(last), counts[last], ft, tau) {
+		return false
+	}
+	for _, v := range cal.order {
+		if int32(v) == last {
+			continue // just re-checked above
 		}
-		if GBound(bt, cal.DeltaU[v], cal.Omega, tau) >= cal.Eps {
+		if cal.vertexFails(v, counts[v], ft, tau) {
+			cal.lastFail = int32(v)
 			return false
 		}
 	}
+	cal.lastFail = -1
 	return true
+}
+
+// vertexFails reports whether v currently violates either error bound.
+func (cal *Calibration) vertexFails(v uint32, c int64, ft float64, tau int64) bool {
+	bt := float64(c) / ft
+	if fBoundLog(bt, cal.logDL[v], cal.Omega, tau) >= cal.Eps {
+		return true
+	}
+	return gBoundLog(bt, cal.logDU[v], cal.Omega, tau) >= cal.Eps
 }

@@ -49,6 +49,12 @@ type Config struct {
 	// between the stopping check and the next epoch, so it must be cheap;
 	// it exists for progress reporting and convergence tracing.
 	OnEpoch func(epoch int, tau int64)
+	// DenseFrames disables the sparse touched-vertex tracking in the epoch
+	// state frames (and, on the MPI backends, ships classic dense wire
+	// frames). It reproduces the pre-sparse behavior bit for bit and exists
+	// for the dense-vs-sparse equivalence tests and as an ablation; leave
+	// it off otherwise.
+	DenseFrames bool
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.

@@ -39,33 +39,24 @@ func runSequential(ctx context.Context, w Workload, cfg Config) (*Result, error)
 	omega := Omega(vd, cfg.Eps, cfg.Delta)
 
 	sampler := w.newSampler(rng.NewRand(cfg.Seed))
-	counts := make([]int64, n)
-	var tau int64
-
-	takeSample := func() {
-		internal, ok := sampler.Sample()
-		tau++
-		if ok {
-			for _, v := range internal {
-				counts[v]++
-			}
-		}
-	}
+	// The accumulated state S: sparse-tracked until it naturally passes the
+	// density cutover (a long run touches most vertices eventually).
+	S := newStateFrame(n, cfg)
 
 	// Phase 2: calibration with tau0 = omega/StartFactor non-adaptive
 	// samples. The samples are kept in the running state, as in the
 	// original algorithm.
 	calStart := time.Now()
 	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
-	for tau < tau0 {
-		if tau%int64(cfg.CheckInterval) == 0 {
+	for S.Tau < tau0 {
+		if S.Tau%int64(cfg.CheckInterval) == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		takeSample()
+		SampleInto(sampler, S)
 	}
-	cal := Calibrate(counts, tau, omega, cfg.Eps, cfg.Delta)
+	cal := Calibrate(S.C, S.Tau, omega, cfg.Eps, cfg.Delta)
 	calTime := time.Since(calStart)
 
 	// Phase 3: adaptive sampling.
@@ -77,28 +68,28 @@ func runSequential(ctx context.Context, w Workload, cfg Config) (*Result, error)
 			return nil, err
 		}
 		cs := time.Now()
-		stop := cal.HaveToStop(counts, tau)
+		stop := cal.HaveToStop(S.C, S.Tau)
 		checkTime += time.Since(cs)
 		checks++
 		if cfg.OnEpoch != nil {
-			cfg.OnEpoch(checks, tau)
+			cfg.OnEpoch(checks, S.Tau)
 		}
 		if stop {
 			break
 		}
-		for i := 0; i < cfg.CheckInterval && float64(tau) < omega; i++ {
-			takeSample()
+		for i := 0; i < cfg.CheckInterval && float64(S.Tau) < omega; i++ {
+			SampleInto(sampler, S)
 		}
 	}
 	samplingTime := time.Since(samplingStart)
 
 	bt := make([]float64, n)
-	for v, c := range counts {
-		bt[v] = float64(c) / float64(tau)
+	for v, c := range S.C {
+		bt[v] = float64(c) / float64(S.Tau)
 	}
 	return &Result{
 		Betweenness:    bt,
-		Tau:            tau,
+		Tau:            S.Tau,
 		Omega:          omega,
 		VertexDiameter: vd,
 		Epochs:         checks,

@@ -59,32 +59,29 @@ func runSharedMemory(ctx context.Context, w Workload, threads int, cfg Config) (
 	}
 
 	// Phase 2: calibration — pleasingly parallel fixed-size sampling
-	// followed by a blocking aggregation (paper §IV-F).
+	// followed by a blocking aggregation (paper §IV-F). The per-thread
+	// partial states are sparse frames, so the merge costs O(touched) per
+	// thread instead of O(T·n).
 	calStart := time.Now()
 	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
-	calCounts := make([]int64, n)
-	var calTau int64
+	// S is the aggregated state; it starts from the calibration samples,
+	// which the algorithm keeps (paper §III-A phase 2 feeds phase 3), and
+	// cuts over to dense on its own as the run fills it up.
+	S := newStateFrame(n, cfg)
 	{
 		var wg sync.WaitGroup
-		partial := make([][]int64, threads)
-		taus := make([]int64, threads)
+		partial := make([]*epoch.StateFrame, threads)
 		per := int(tau0)/threads + 1
 		for t := 0; t < threads; t++ {
 			wg.Add(1)
 			go func(t int) {
 				defer wg.Done()
-				local := make([]int64, n)
+				local := newStateFrame(n, cfg)
 				for i := 0; i < per; i++ {
 					if i%256 == 0 && ctx.Err() != nil {
 						break
 					}
-					internal, ok := samplers[t].Sample()
-					taus[t]++
-					if ok {
-						for _, v := range internal {
-							local[v]++
-						}
-					}
+					SampleInto(samplers[t], local)
 				}
 				partial[t] = local
 			}(t)
@@ -94,18 +91,18 @@ func runSharedMemory(ctx context.Context, w Workload, threads int, cfg Config) (
 			return nil, err
 		}
 		for t := 0; t < threads; t++ {
-			calTau += taus[t]
-			for v, c := range partial[t] {
-				calCounts[v] += c
-			}
+			S.Add(partial[t])
 		}
 	}
-	cal := Calibrate(calCounts, calTau, omega, cfg.Eps, cfg.Delta)
+	cal := Calibrate(S.C, S.Tau, omega, cfg.Eps, cfg.Delta)
 	calTime := time.Since(calStart)
 
 	// Phase 3: epoch-based adaptive sampling.
 	samplingStart := time.Now()
 	fw := epoch.New(threads, n)
+	if cfg.DenseFrames {
+		fw.ForceDense()
+	}
 	var done atomic.Bool
 	var wg sync.WaitGroup
 	for t := 1; t < threads; t++ {
@@ -114,13 +111,7 @@ func runSharedMemory(ctx context.Context, w Workload, threads int, cfg Config) (
 			defer wg.Done()
 			sf := fw.Frame(t)
 			for !done.Load() {
-				internal, ok := samplers[t].Sample()
-				sf.Tau++
-				if ok {
-					for _, v := range internal {
-						sf.C[v]++
-					}
-				}
+				SampleInto(samplers[t], sf)
 				if fw.CheckTransition(t) {
 					sf = fw.Frame(t)
 				}
@@ -130,25 +121,11 @@ func runSharedMemory(ctx context.Context, w Workload, threads int, cfg Config) (
 		}(t)
 	}
 
-	// Aggregated state S starts from the calibration samples, which the
-	// algorithm keeps (paper §III-A phase 2 feeds phase 3).
-	S := epoch.NewStateFrame(n)
-	S.Tau = calTau
-	copy(S.C, calCounts)
-
 	n0 := cfg.EpochLength(threads)
 	var e uint64
 	var transTime, checkTime time.Duration
 	epochs := 0
-	sampleInto := func(sf *epoch.StateFrame) {
-		internal, ok := samplers[0].Sample()
-		sf.Tau++
-		if ok {
-			for _, v := range internal {
-				sf.C[v]++
-			}
-		}
-	}
+	coord := samplers[0]
 	for {
 		if err := ctx.Err(); err != nil {
 			done.Store(true)
@@ -157,13 +134,13 @@ func runSharedMemory(ctx context.Context, w Workload, threads int, cfg Config) (
 		}
 		sf := fw.Frame(0)
 		for i := 0; i < n0; i++ {
-			sampleInto(sf)
+			SampleInto(coord, sf)
 		}
 		ts := time.Now()
 		fw.ForceTransition()
 		next := fw.Frame(0)
 		for !fw.TransitionDone(e + 1) {
-			sampleInto(next)
+			SampleInto(coord, next)
 		}
 		transTime += time.Since(ts)
 		fw.AggregateEpoch(e, S)
@@ -231,39 +208,28 @@ func SimpleParallel(ctx context.Context, g *graph.Graph, threads int, cfg Config
 
 	calStart := time.Now()
 	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
-	counts := make([]int64, n)
-	var tau int64
+	S := newStateFrame(n, cfg)
 	batch := func(per int) {
 		var wg sync.WaitGroup
-		partial := make([][]int64, threads)
-		taus := make([]int64, threads)
+		partial := make([]*epoch.StateFrame, threads)
 		for t := 0; t < threads; t++ {
 			wg.Add(1)
 			go func(t int) {
 				defer wg.Done()
-				local := make([]int64, n)
+				local := newStateFrame(n, cfg)
 				for i := 0; i < per; i++ {
-					internal, ok := samplers[t].Sample()
-					taus[t]++
-					if ok {
-						for _, v := range internal {
-							local[v]++
-						}
-					}
+					SampleInto(samplers[t], local)
 				}
 				partial[t] = local
 			}(t)
 		}
 		wg.Wait() // the blocking barrier: nothing overlaps
 		for t := 0; t < threads; t++ {
-			tau += taus[t]
-			for v, c := range partial[t] {
-				counts[v] += c
-			}
+			S.Add(partial[t])
 		}
 	}
 	batch(int(tau0)/threads + 1)
-	cal := Calibrate(counts, tau, omega, cfg.Eps, cfg.Delta)
+	cal := Calibrate(S.C, S.Tau, omega, cfg.Eps, cfg.Delta)
 	calTime := time.Since(calStart)
 
 	samplingStart := time.Now()
@@ -275,7 +241,7 @@ func SimpleParallel(ctx context.Context, g *graph.Graph, threads int, cfg Config
 			return nil, err
 		}
 		cs := time.Now()
-		stop := cal.HaveToStop(counts, tau)
+		stop := cal.HaveToStop(S.C, S.Tau)
 		checkTime += time.Since(cs)
 		if stop {
 			break
@@ -286,12 +252,12 @@ func SimpleParallel(ctx context.Context, g *graph.Graph, threads int, cfg Config
 	samplingTime := time.Since(samplingStart)
 
 	bt := make([]float64, n)
-	for v, c := range counts {
-		bt[v] = float64(c) / float64(tau)
+	for v, c := range S.C {
+		bt[v] = float64(c) / float64(S.Tau)
 	}
 	return &Result{
 		Betweenness:    bt,
-		Tau:            tau,
+		Tau:            S.Tau,
 		Omega:          omega,
 		VertexDiameter: vd,
 		Epochs:         epochs,

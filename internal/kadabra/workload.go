@@ -7,9 +7,35 @@ import (
 
 	"repro/internal/bfs"
 	"repro/internal/diameter"
+	"repro/internal/epoch"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
+
+// SampleInto takes one sample with s and records it into sf: tau always
+// advances, and each internal vertex of a connected sample bumps its count
+// through the sparse frame API. This is the steady-state hot path of every
+// driver — sequential, shared-memory coordinator and workers, and the MPI
+// ranks in internal/core — hoisted to a plain function so the compiler
+// keeps it allocation-free (see TestSampleSteadyStateZeroAlloc).
+func SampleInto(s Sampler, sf *epoch.StateFrame) {
+	internal, ok := s.Sample()
+	sf.Tau++
+	if ok {
+		for _, v := range internal {
+			sf.Bump(v)
+		}
+	}
+}
+
+// newStateFrame builds a state frame honouring cfg.DenseFrames.
+func newStateFrame(n int, cfg Config) *epoch.StateFrame {
+	sf := epoch.NewStateFrame(n)
+	if cfg.DenseFrames {
+		sf.ForceDense()
+	}
+	return sf
+}
 
 // This file is the workload abstraction behind every KADABRA variant. The
 // paper's footnote 1 observes that the parallelization applies unchanged to

@@ -153,16 +153,23 @@ func (c *Comm) bcastWithSeq(root int, data []byte, seq uint64) ([]byte, error) {
 	return data, nil
 }
 
+// mergeOp adapts a fixed-length Op to the variable-length MergeOp
+// contract, enforcing the equal-length requirement.
+func (op Op) mergeOp() MergeOp {
+	return func(acc, src []byte) ([]byte, error) {
+		if len(src) != len(acc) {
+			return nil, fmt.Errorf("buffer length mismatch: %d vs %d", len(src), len(acc))
+		}
+		op(acc, src)
+		return acc, nil
+	}
+}
+
 // Reduce combines every process's data with op along a binomial tree; the
 // result lands on root (other ranks receive nil). All buffers must have the
 // same length.
 func (c *Comm) Reduce(root int, data []byte, op Op) ([]byte, error) {
-	if err := c.checkRank(root); err != nil {
-		return nil, err
-	}
-	acc := make([]byte, len(data))
-	copy(acc, data)
-	return c.reduceWithSeq(root, acc, op, c.nextCollSeq())
+	return c.ReduceMerge(root, data, op.mergeOp())
 }
 
 // IReduce is the non-blocking reduction of paper Alg. 1 line 10 / Alg. 2
@@ -170,6 +177,32 @@ func (c *Comm) Reduce(root int, data []byte, op Op) ([]byte, error) {
 // mutating its buffer immediately (the paper's algorithms snapshot
 // explicitly anyway; copying here makes misuse harmless).
 func (c *Comm) IReduce(root int, data []byte, op Op) *Request {
+	return c.IReduceMerge(root, data, op.mergeOp())
+}
+
+// MergeOp combines two buffers of a variable-length reduction: it merges
+// src into acc and returns the merged encoding, which may alias (and
+// mutate) either input or be freshly allocated. Unlike Op, the buffers need
+// not have equal lengths — this is what lets sparse-encoded state frames
+// flow through a reduction tree, with the operator free to re-encode (e.g.
+// densify) as the partial aggregates grow.
+type MergeOp func(acc, src []byte) ([]byte, error)
+
+// ReduceMerge combines every process's variable-length buffer with op along
+// a binomial tree; the result lands on root (other ranks receive nil).
+// Reduce/IReduce are thin equal-length adapters over this pair.
+func (c *Comm) ReduceMerge(root int, data []byte, op MergeOp) ([]byte, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	acc := make([]byte, len(data))
+	copy(acc, data)
+	return c.reduceMergeWithSeq(root, acc, op, c.nextCollSeq())
+}
+
+// IReduceMerge is the non-blocking ReduceMerge. The input is snapshotted
+// synchronously, so the caller may keep reusing its buffer immediately.
+func (c *Comm) IReduceMerge(root int, data []byte, op MergeOp) *Request {
 	if err := c.checkRank(root); err != nil {
 		return completedRequest(nil, err)
 	}
@@ -178,15 +211,15 @@ func (c *Comm) IReduce(root int, data []byte, op Op) *Request {
 	copy(acc, data)
 	req := newRequest()
 	go func() {
-		res, err := c.reduceWithSeq(root, acc, op, seq)
+		res, err := c.reduceMergeWithSeq(root, acc, op, seq)
 		req.complete(res, err)
 	}()
 	return req
 }
 
-// reduceWithSeq implements the binomial-tree reduction. acc is owned by the
-// callee and mutated in place.
-func (c *Comm) reduceWithSeq(root int, acc []byte, op Op, seq uint64) ([]byte, error) {
+// reduceMergeWithSeq implements the binomial-tree reduction. acc is owned
+// by the callee; op may mutate it or substitute a fresh buffer.
+func (c *Comm) reduceMergeWithSeq(root int, acc []byte, op MergeOp, seq uint64) ([]byte, error) {
 	size := c.Size()
 	if size == 1 {
 		return acc, nil
@@ -204,10 +237,9 @@ func (c *Comm) reduceWithSeq(root int, acc []byte, op Op, seq uint64) ([]byte, e
 			if err != nil {
 				return nil, err
 			}
-			if len(buf) != len(acc) {
-				return nil, fmt.Errorf("mpi: reduce buffer length mismatch: %d vs %d", len(buf), len(acc))
+			if acc, err = op(acc, buf); err != nil {
+				return nil, fmt.Errorf("mpi: reduce merge: %w", err)
 			}
-			op(acc, buf)
 		}
 	}
 	return acc, nil

@@ -89,7 +89,7 @@ func (c *Comm) IAllreduce(data []byte, op Op) *Request {
 	seqB := c.nextCollSeq()
 	req := newRequest()
 	go func() {
-		res, err := c.reduceWithSeq(0, acc, op, seqR)
+		res, err := c.reduceMergeWithSeq(0, acc, op.mergeOp(), seqR)
 		if err != nil {
 			req.complete(nil, err)
 			return

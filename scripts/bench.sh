@@ -10,6 +10,21 @@
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2x)
 #   COUNT      go test -count value (default 1)
+#
+# Comparison workflow (before/after a perf change):
+#   1. On the baseline commit:  COUNT=10 scripts/bench.sh baseline.json
+#      (keep the raw `go test` output too: `| tee baseline.txt`)
+#   2. On the changed tree:     COUNT=10 scripts/bench.sh after.json | tee after.txt
+#   3. benchstat baseline.txt after.txt   # golang.org/x/perf/cmd/benchstat
+#      benchstat needs the raw text, not the JSON; COUNT>=10 gives it
+#      enough samples for significance tests.
+#   The committed trajectory: BENCH_estimate_pre.json is the frozen
+#   dense-frame baseline (PR 4's "before"), BENCH_estimate.json the
+#   current tree. The per-epoch micro-benchmarks live in
+#   internal/epoch (BenchmarkAggregateEpoch, BenchmarkWire*) and
+#   internal/kadabra (BenchmarkHaveToStop), each with {sparse,dense}
+#   sub-benchmarks so the frame-representation comparison never needs
+#   a second checkout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
