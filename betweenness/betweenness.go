@@ -31,6 +31,15 @@
 // kinds; dispatching a workload to a backend that cannot run it fails
 // fast with ErrUnsupportedWorkload.
 //
+// Estimation is anytime: after every epoch the run holds a valid
+// (eps', delta) guarantee that only tightens. NewEstimator exposes that
+// as a long-lived session — Run with sampling budgets (WithMaxSamples,
+// WithMaxDuration; an early stop reports the achieved guarantee in
+// Result.AchievedEps), Snapshot at any time, Refine toward a tighter eps
+// reusing every prior sample, and Checkpoint/RestoreEstimator to resume
+// across process restarts (Sequential and SharedMemory backends).
+// EstimateWorkload itself is one NewEstimator plus one Run.
+//
 // Exact ground truth (Brandes' algorithm) and accuracy reports are
 // available via Exact, ExactDirected, ExactWeighted, and Compare.
 package betweenness
@@ -43,14 +52,41 @@ import (
 	"repro/internal/kadabra"
 )
 
-// Snapshot is one progress observation of a running estimate, delivered to
-// the WithProgress callback after every epoch (or stopping check, for the
-// sequential backend).
+// Snapshot is one consistent observation of an estimate, delivered to the
+// WithProgress callback after every epoch (or stopping check, for the
+// sequential backend) and returned by Estimator.Snapshot at any time. The
+// two sources share this one type, so a progress stream and a session poll
+// report the same honest quantities.
 type Snapshot struct {
 	// Epoch is the 1-based index of the completed epoch.
 	Epoch int
 	// Tau is the number of samples in the consistent aggregated state.
 	Tau int64
+	// AchievedEps is the anytime guarantee currently held: with
+	// probability 1-delta, every estimate is within AchievedEps of the
+	// truth. It is 1 (vacuous) before calibration completes and tightens
+	// toward the target eps as sampling proceeds. (Delivering it costs an
+	// O(n) bound sweep per epoch, paid only while a progress callback is
+	// registered.)
+	AchievedEps float64
+	// SamplesPerSec is the observed sampling throughput, averaged over the
+	// calibration and adaptive phases so far.
+	SamplesPerSec float64
+	// Estimates is the per-vertex view of the state the snapshot
+	// describes. Estimator.Snapshot fills it when the session is idle;
+	// it is nil in WithProgress deliveries, which stay cheap enough to
+	// run every epoch.
+	Estimates []float64
+}
+
+// fromProgress converts the internal progress observation.
+func fromProgress(p kadabra.Progress) Snapshot {
+	return Snapshot{
+		Epoch:         p.Epoch,
+		Tau:           p.Tau,
+		AchievedEps:   p.AchievedEps,
+		SamplesPerSec: p.SamplesPerSec,
+	}
 }
 
 // Timings is the per-phase wall-clock breakdown of a run, the raw material
@@ -120,6 +156,16 @@ type Result struct {
 	// Epochs is the number of completed epochs (stopping checks, for the
 	// sequential backend).
 	Epochs int
+	// AchievedEps is the guarantee actually achieved: with probability
+	// 1-delta every estimate is within AchievedEps of the truth. It is at
+	// most the target eps when Converged; when a budget (WithMaxSamples,
+	// WithMaxDuration) stopped the run early it is the honest, looser
+	// anytime bound the accumulated samples support.
+	AchievedEps float64
+	// Converged reports whether the adaptive stopping rule reached the
+	// target eps (or tau reached omega); false means a sampling budget
+	// ended the run first — resume with Estimator.Run or Refine.
+	Converged bool
 	// Timings is the per-phase wall-clock breakdown.
 	Timings Timings
 	// Backend names the executor that produced the result.
@@ -154,6 +200,8 @@ func fromKadabra(backend string, kr *kadabra.Result) *Result {
 		Omega:          kr.Omega,
 		VertexDiameter: kr.VertexDiameter,
 		Epochs:         kr.Epochs,
+		AchievedEps:    kr.AchievedEps,
+		Converged:      kr.Converged,
 		Timings:        fromTimings(kr.Timings),
 		Backend:        backend,
 	}

@@ -20,24 +20,16 @@ import (
 // The workload's validation rule (strong connectivity for Directed,
 // connectivity for Weighted — one O(V+E) pass each) runs after option
 // resolution and before the backend starts. Estimate, EstimateDirected,
-// and EstimateWeighted are thin wrappers over this function.
+// and EstimateWeighted are thin wrappers over this function — and this
+// function is itself a thin wrapper over the session API: one NewEstimator
+// followed by one Run. Keep the Estimator instead when you want to refine,
+// poll, budget incrementally, or checkpoint the run.
 func EstimateWorkload(ctx context.Context, w Workload, opts ...Option) (*Result, error) {
-	if err := w.err; err != nil {
-		return nil, err
-	}
-	s, err := resolveSettings(opts)
+	est, err := NewEstimator(w, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkSize(w.n, s); err != nil {
-		return nil, err
-	}
-	if err := w.checkRunnable(s.exec); err != nil {
-		return nil, err
-	}
-	return runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
-		return s.exec.Run(ctx, w, s.Params)
-	})
+	return est.Run(ctx)
 }
 
 // Estimate approximates the betweenness centrality of every vertex of g

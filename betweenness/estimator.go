@@ -1,0 +1,465 @@
+package betweenness
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/kadabra"
+)
+
+// ErrNotCheckpointable reports that a session cannot be serialized: only
+// sessions on the Sequential and SharedMemory backends own their sampling
+// state in-process. Test with errors.Is; the wrapped message names the
+// reason (an MPI/TCP backend, or a certified top-k run).
+var ErrNotCheckpointable = errors.New("betweenness: session is not checkpointable")
+
+// ErrNotRefinable reports that a session cannot refine in place: the
+// backend runs to completion per call and retains no sampling state
+// between calls. Test with errors.Is.
+var ErrNotRefinable = errors.New("betweenness: session is not refinable in place")
+
+// Estimator is a long-lived, resumable estimation session over one
+// workload: the anytime front door the adaptive-sampling algorithm has
+// deserved all along — after every epoch it holds a valid (eps', delta)
+// guarantee that only tightens, so a session can answer coarse-and-fast
+// now, keep refining later, and survive restarts in between.
+//
+// NewEstimator validates the workload once, resolves and caches the
+// vertex diameter once, and owns the sampling state from then on:
+//
+//   - Run samples until the target eps is reached, the budget
+//     (WithMaxSamples, WithMaxDuration) runs out, or ctx is cancelled —
+//     in every case the state stays consistent and the session resumable.
+//   - Snapshot reports the current estimates and the achieved eps at any
+//     time, in the same Snapshot type WithProgress streams.
+//   - Refine continues sampling toward a tighter eps or a larger top-k,
+//     reusing every prior sample: the error bounds are recalibrated from
+//     the accumulated counts, never reset.
+//   - Checkpoint/RestoreEstimator serialize the per-vertex counts, RNG
+//     streams, calibration, and epoch counters, so a run interrupted
+//     mid-sampling resumes in a fresh process exactly where it stopped.
+//
+// Sessions are fully resumable on the Sequential and SharedMemory
+// backends, which own their state in-process. On the MPI and TCP backends
+// (and for the certified top-k rule of the Sequential backend) the session
+// degrades honestly to a one-shot handle: Run works — including budgets
+// and achieved-eps reporting — and Snapshot reflects rank-0 progress, but
+// Refine returns ErrNotRefinable and Checkpoint ErrNotCheckpointable.
+//
+// Methods are safe for concurrent use; Run and Refine serialize behind one
+// mutex, and Snapshot never blocks on a running estimate (it returns the
+// latest per-epoch observation instead).
+type Estimator struct {
+	mu sync.Mutex
+	w  Workload
+	s  settings
+	// st owns the resumable state on the steppable backends; nil in
+	// one-shot mode, with oneShot naming the reason.
+	st      *kadabra.EstimatorState
+	oneShot string
+	res     *Result
+
+	snapMu sync.Mutex
+	last   Snapshot
+}
+
+// NewEstimator creates an estimation session for the workload. The options
+// are those of EstimateWorkload — which is itself a thin wrapper,
+// NewEstimator followed by one Run — plus the budget options; the workload
+// validation rule and the executor capability check run here, and on the
+// steppable backends the vertex-diameter phase runs (and is cached) here
+// too, so the first Run starts sampling immediately.
+func NewEstimator(w Workload, opts ...Option) (*Estimator, error) {
+	if err := w.err; err != nil {
+		return nil, err
+	}
+	s, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSize(w.n, s); err != nil {
+		return nil, err
+	}
+	if err := w.checkRunnable(s.exec); err != nil {
+		return nil, err
+	}
+	e := &Estimator{w: w, s: s, last: Snapshot{AchievedEps: 1}}
+	switch s.exec.(type) {
+	case seqExec:
+		if s.TopK > 0 && w.kind == WorkloadUndirected {
+			// The certified top-k stopping rule is a different state
+			// machine (run-to-completion); uniform sessions derive their
+			// ranking from the estimates instead.
+			e.oneShot = "the certified top-k stopping rule runs to completion"
+			return e, nil
+		}
+		if err := e.bindState(0); err != nil {
+			return nil, err
+		}
+	case shmExec:
+		t := s.Threads
+		if t <= 0 {
+			t = runtime.GOMAXPROCS(0)
+		}
+		if err := e.bindState(t); err != nil {
+			return nil, err
+		}
+	default:
+		e.oneShot = fmt.Sprintf("backend %q runs to completion per call and retains no sampling state", s.exec.Name())
+	}
+	return e, nil
+}
+
+// bindState builds the steppable engine (threads == 0 selects the
+// sequential one) and wires the progress hook.
+func (e *Estimator) bindState(threads int) error {
+	cfg := e.s.kadabraConfig()
+	// Budgets are enforced per Run/Refine call through a kadabra.Budget;
+	// the machine must not double-apply the config copies.
+	cfg.MaxSamples, cfg.MaxDuration = 0, 0
+	cfg.OnEpoch = nil
+	st, err := kadabra.NewEstimatorState(e.w.inner, threads, cfg)
+	if err != nil {
+		return err
+	}
+	e.st = st
+	e.wireProgress()
+	return nil
+}
+
+// wireProgress registers the machine's per-epoch hook iff a user callback
+// is present: the hook costs an O(n) achieved-eps sweep per epoch, which
+// silent sessions must not pay. Callers hold e.mu.
+func (e *Estimator) wireProgress() {
+	if e.s.Progress == nil {
+		e.st.SetOnEpoch(nil)
+		return
+	}
+	e.st.SetOnEpoch(func(kp kadabra.Progress) {
+		e.deliver(fromProgress(kp))
+	})
+}
+
+// deliver records the latest observation (for Snapshot during a run) and
+// forwards it to the user callback. It runs on the coordinating goroutine
+// of Run/Refine, which holds e.mu, so reading e.s is race-free.
+func (e *Estimator) deliver(snap Snapshot) {
+	e.storeLast(snap)
+	if e.s.Progress != nil {
+		e.s.Progress(snap)
+	}
+}
+
+// Run advances the session until the current target eps is reached, the
+// budget (WithMaxSamples, WithMaxDuration) runs out, or ctx is cancelled,
+// and returns the result of the accumulated state. One NewEstimator + Run
+// is exactly EstimateWorkload; unlike it, a budget- or cancellation-stopped
+// session keeps its samples — call Run again to continue toward the same
+// target (a fresh wall-clock budget per call), Refine to retarget, or
+// Checkpoint to persist. Run after convergence returns the same result
+// without sampling. On cancellation the completed work is retained but no
+// Result is returned; Snapshot still reads the state.
+//
+// On the one-shot backends (MPI, TCP, custom executors, certified top-k)
+// each Run is an independent run-to-completion estimate, with the
+// vertex diameter cached after the first.
+func (e *Estimator) Run(ctx context.Context) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runLocked(ctx)
+}
+
+func (e *Estimator) runLocked(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.st == nil {
+		return e.runOneShot(ctx)
+	}
+	b := kadabra.Budget{MaxSamples: e.s.MaxSamples}
+	if e.s.MaxDuration > 0 {
+		b.Deadline = time.Now().Add(e.s.MaxDuration)
+	}
+	if err := e.st.Run(ctx, b); err != nil {
+		e.observeState()
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	res := fromKadabra(e.s.exec.Name(), e.st.Result())
+	if e.s.TopK > 0 {
+		res.Top = res.TopK(e.s.TopK)
+	}
+	e.res = res
+	// Derive the observation from the result just built — Result() already
+	// paid the O(n) achieved-eps sweep, no need for a second one.
+	e.storeLast(Snapshot{Epoch: res.Epochs, Tau: res.Tau, AchievedEps: res.AchievedEps})
+	return res, nil
+}
+
+// runOneShot delegates to the executor with the session settings, wrapping
+// the progress stream so Snapshot stays fresh mid-run.
+func (e *Estimator) runOneShot(ctx context.Context) (*Result, error) {
+	s := e.s
+	if user := e.s.Progress; user != nil {
+		s.Progress = func(snap Snapshot) {
+			e.storeLast(snap)
+			user(snap)
+		}
+	}
+	res, err := runEstimate(ctx, s, func(ctx context.Context) (*Result, error) {
+		return s.exec.Run(ctx, e.w, s.Params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.res = res
+	if e.s.VertexDiameter == 0 && res.VertexDiameter > 0 {
+		// Cache phase 1 for any further Run on this session.
+		e.s.VertexDiameter = res.VertexDiameter
+	}
+	e.storeLast(Snapshot{
+		Epoch:       res.Epochs,
+		Tau:         res.Tau,
+		AchievedEps: res.AchievedEps,
+	})
+	return res, nil
+}
+
+// observeState refreshes the last observation from the steppable state.
+// Callers hold e.mu.
+func (e *Estimator) observeState() {
+	e.storeLast(fromProgress(e.st.Progress()))
+}
+
+func (e *Estimator) storeLast(snap Snapshot) {
+	e.snapMu.Lock()
+	e.last = snap
+	e.snapMu.Unlock()
+}
+
+// Refine continues the session toward new targets, reusing every
+// accumulated sample. The recognized options are the statistical targets
+// and per-call knobs: WithEpsilon and WithDelta retarget the guarantee
+// (the error bounds are recalibrated from the current counts — the sample
+// count never resets, so refining to a tighter eps strictly grows tau);
+// WithTopK enlarges (or sets) the derived ranking; WithMaxSamples,
+// WithMaxDuration, and WithProgress replace the session's budget and
+// progress stream. Options that would change the session's statistical
+// identity — seed, threads, executor, diameter knobs — are rejected:
+// start a new Estimator for those.
+//
+// Refine requires a steppable backend (Sequential or SharedMemory without
+// certified top-k); elsewhere it returns ErrNotRefinable.
+func (e *Estimator) Refine(ctx context.Context, opts ...Option) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.st == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotRefinable, e.oneShot)
+	}
+	ns := e.s
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&ns); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.refineGuard(ns); err != nil {
+		return nil, err
+	}
+	if err := checkSize(e.w.n, ns); err != nil {
+		return nil, err
+	}
+	if ns.Epsilon != e.s.Epsilon || ns.Delta != e.s.Delta {
+		// A tighter target needs sampling headroom: refuse to recalibrate
+		// into a session whose sample budget is already spent — a silent
+		// zero-sample "refinement" would betray the strictly-grows
+		// contract. (Top-k-only refines are served from the existing
+		// samples, so they pass through.)
+		if ns.MaxSamples > 0 && ns.MaxSamples <= e.st.Tau() {
+			return nil, fmt.Errorf(
+				"betweenness: sampling budget (max samples %d) already spent at tau=%d; raise WithMaxSamples to refine",
+				ns.MaxSamples, e.st.Tau())
+		}
+		e.st.Recalibrate(ns.Epsilon, ns.Delta)
+	}
+	e.s = ns
+	e.wireProgress()
+	return e.runLocked(ctx)
+}
+
+// refineGuard rejects option changes that would invalidate the accumulated
+// sampling state.
+func (e *Estimator) refineGuard(ns settings) error {
+	old := e.s
+	reject := func(what string) error {
+		return fmt.Errorf("betweenness: cannot change the %s of a session in Refine; start a new Estimator", what)
+	}
+	switch {
+	case ns.Seed != old.Seed:
+		return reject("seed")
+	case ns.Threads != old.Threads:
+		return reject("thread count")
+	case ns.VertexDiameter != old.VertexDiameter:
+		return reject("vertex diameter")
+	case ns.DiameterBFSCap != old.DiameterBFSCap:
+		return reject("diameter BFS cap")
+	case ns.exec != old.exec:
+		// old.exec is always comparable here (a steppable backend).
+		return reject("executor")
+	}
+	return nil
+}
+
+// Snapshot reports the session's current state at any time: estimates,
+// achieved eps, sample count, and throughput, in the same type the
+// WithProgress stream delivers. Called between runs it reads the state
+// directly (and materializes Estimates); called during an active Run it
+// returns the latest per-epoch observation without blocking — fresh to
+// within one epoch when a progress callback is registered, otherwise the
+// state as of the run's start.
+func (e *Estimator) Snapshot() Snapshot {
+	if e.mu.TryLock() {
+		defer e.mu.Unlock()
+		if e.st != nil {
+			snap := fromProgress(e.st.Progress())
+			snap.Estimates = e.st.Estimates()
+			return snap
+		}
+		if e.res != nil {
+			return Snapshot{
+				Epoch:       e.res.Epochs,
+				Tau:         e.res.Tau,
+				AchievedEps: e.res.AchievedEps,
+				// Copied, like the steppable branch: snapshots are the
+				// caller's to mutate.
+				Estimates: append([]float64(nil), e.res.Estimates...),
+			}
+		}
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	return e.last
+}
+
+// Checkpointable reports whether Checkpoint can serialize this session.
+func (e *Estimator) Checkpointable() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st != nil
+}
+
+// The checkpoint envelope: magic, format version, workload kind, then the
+// engine payload, closed by a CRC-32 (IEEE) of everything before it so
+// truncation and bit rot fail loudly on restore.
+const (
+	ckptMagic     = "BCSE" // betweenness checkpoint, session estimator
+	ckptVersion   = 1
+	ckptHeaderLen = 4 + 2 + 1 + 1
+	ckptMinLen    = ckptHeaderLen + 4
+)
+
+// Checkpoint writes a versioned serialization of the session — per-vertex
+// counts, RNG streams, calibration budgets, epoch counters, and the
+// statistical targets — to w, so RestoreEstimator can resume it in a fresh
+// process. The graph is not serialized; the restorer supplies the same
+// workload. Call it between runs, after a budget stop, or after a
+// cancelled Run (the completed work is captured; samples of the epoch in
+// flight at the cancellation are not, by design). A sequential session
+// restored from a checkpoint and run to completion is bit-identical to
+// the same session never having stopped.
+//
+// Sessions on the MPI/TCP backends and certified top-k sessions return
+// ErrNotCheckpointable.
+func (e *Estimator) Checkpoint(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.st == nil {
+		return fmt.Errorf("%w: %s", ErrNotCheckpointable, e.oneShot)
+	}
+	buf := make([]byte, 0, ckptMinLen+16*e.w.n)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
+	buf = append(buf, byte(e.w.kind), 0)
+	buf = e.st.AppendCheckpoint(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("betweenness: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreEstimator reconstructs a session from a Checkpoint stream,
+// re-binding it to w — a workload of the same kind over the same graph the
+// checkpoint was taken from (kind and vertex count are verified; the graph
+// itself is the caller's contract). The session resumes on the backend it
+// was checkpointed from, with the serialized statistical identity (eps,
+// delta, seed, threads, vertex diameter); options supply what a checkpoint
+// cannot carry — WithProgress, WithMaxSamples, WithMaxDuration, WithTopK —
+// and any statistical options are superseded by the checkpoint (use Refine
+// to retarget afterwards).
+//
+// The stream is untrusted: truncated, corrupted, or version-skewed bytes
+// return an error, never panic.
+func RestoreEstimator(r io.Reader, w Workload, opts ...Option) (*Estimator, error) {
+	if err := w.err; err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("betweenness: reading checkpoint: %w", err)
+	}
+	if len(data) < ckptMinLen {
+		return nil, fmt.Errorf("betweenness: checkpoint too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != ckptMagic {
+		return nil, fmt.Errorf("betweenness: not an estimator checkpoint (bad magic)")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("betweenness: checkpoint checksum mismatch (truncated or corrupted)")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != ckptVersion {
+		return nil, fmt.Errorf("betweenness: unsupported checkpoint version %d (want %d)", v, ckptVersion)
+	}
+	if kind := WorkloadKind(data[6]); kind != w.kind {
+		return nil, fmt.Errorf("betweenness: checkpoint holds a %s session, workload is %s", kind, w.kind)
+	}
+	st, err := kadabra.RestoreEstimatorState(body[ckptHeaderLen:], w.inner)
+	if err != nil {
+		return nil, err
+	}
+	s, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The statistical identity lives in the checkpoint.
+	cfg := st.Config()
+	s.Epsilon, s.Delta, s.Seed = cfg.Eps, cfg.Delta, cfg.Seed
+	s.VertexDiameter = st.VertexDiameter()
+	if st.Threads() == 0 {
+		s.exec, s.Threads = Sequential(), 0
+	} else {
+		s.exec, s.Threads = SharedMemory(), st.Threads()
+	}
+	if err := checkSize(w.n, s); err != nil {
+		return nil, err
+	}
+	if err := w.checkRunnable(s.exec); err != nil {
+		return nil, err
+	}
+	e := &Estimator{w: w, s: s, st: st}
+	e.wireProgress()
+	e.observeState()
+	return e, nil
+}

@@ -2,6 +2,7 @@ package betweenness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kadabra"
@@ -87,10 +88,17 @@ type Params struct {
 	// DiameterBFSCap bounds the BFS sweeps of the iFUB diameter bound
 	// (0 = exact diameter phase).
 	DiameterBFSCap int
+	// MaxSamples, when positive, is an absolute sampling budget: the run
+	// stops once tau reaches it, reporting the achieved guarantee (see
+	// WithMaxSamples).
+	MaxSamples int64
+	// MaxDuration, when positive, is a wall-clock budget per call (see
+	// WithMaxDuration).
+	MaxDuration time.Duration
 }
 
 // kadabraConfig maps the public parameters onto the internal KADABRA
-// configuration, wiring the progress callback.
+// configuration, wiring the progress callback and the sampling budgets.
 func (p Params) kadabraConfig() kadabra.Config {
 	cfg := kadabra.Config{
 		Eps:            p.Epsilon,
@@ -98,11 +106,13 @@ func (p Params) kadabraConfig() kadabra.Config {
 		Seed:           p.Seed,
 		VertexDiameter: p.VertexDiameter,
 		DiameterBFSCap: p.DiameterBFSCap,
+		MaxSamples:     p.MaxSamples,
+		MaxDuration:    p.MaxDuration,
 	}
 	if p.Progress != nil {
 		progress := p.Progress
-		cfg.OnEpoch = func(epoch int, tau int64) {
-			progress(Snapshot{Epoch: epoch, Tau: tau})
+		cfg.OnEpoch = func(kp kadabra.Progress) {
+			progress(fromProgress(kp))
 		}
 	}
 	return cfg
@@ -251,6 +261,44 @@ func WithDiameterBFSCap(n int) Option {
 			return fmt.Errorf("betweenness: diameter BFS cap must be >= 0, got %d", n)
 		}
 		s.DiameterBFSCap = n
+		return nil
+	}
+}
+
+// WithMaxSamples sets an absolute sampling budget: the estimate stops once
+// the consistent sample count tau reaches n, even if the target eps has not
+// been reached. The result then carries Converged == false and reports the
+// guarantee the samples actually support in Result.AchievedEps. On the
+// sequential backend the stop lands on exactly n samples; the parallel
+// backends stop within one epoch of it. With an Estimator the budget
+// applies to the session's total sample count, so a Run that stopped at the
+// budget resumes from it when Run or Refine is called with a larger one.
+func WithMaxSamples(n int64) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("betweenness: max samples must be >= 1, got %d", n)
+		}
+		s.MaxSamples = n
+		return nil
+	}
+}
+
+// WithMaxDuration sets a wall-clock budget: the run returns within about
+// one epoch of d elapsing. On the session backends (Sequential,
+// SharedMemory) the clock starts at each Run or Refine call — the cached
+// diameter phase already ran in NewEstimator; on the MPI/TCP backends it
+// starts at the call's entry and so covers their diameter phase, which is
+// non-interruptible — bound it with WithDiameterBFSCap or skip it with
+// WithVertexDiameter when d is tight. Like WithMaxSamples, an early stop
+// reports Converged == false and the achieved guarantee in
+// Result.AchievedEps. The budget is per call: each Estimator.Run or
+// Refine gets a fresh d.
+func WithMaxDuration(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("betweenness: max duration must be positive, got %v", d)
+		}
+		s.MaxDuration = d
 		return nil
 	}
 }

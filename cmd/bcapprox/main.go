@@ -32,6 +32,22 @@
 //
 //	-gen rmat:scale=16,ef=16  -gen hyp:n=100000,deg=30  -gen road:rows=300,cols=300
 //
+// Anytime estimation (sessions, budgets, checkpoints):
+//
+//	-max-samples N     stop after N samples and report the achieved
+//	                   guarantee (any backend)
+//	-max-duration D    stop after roughly D of wall clock, e.g. 30s
+//	                   (any backend)
+//	-checkpoint PATH   seq/shm only: persist the session state to PATH —
+//	                   on Ctrl-C the work done so far is saved instead of
+//	                   discarded, and a completed run saves its final
+//	                   state for later refinement
+//	-resume PATH       seq/shm only: continue a -checkpoint session; the
+//	                   statistical identity (eps, delta, seed, threads)
+//	                   comes from the checkpoint, and explicitly passed
+//	                   -eps/-delta refine the resumed session toward the
+//	                   new target, reusing every prior sample
+//
 // Ctrl-C cancels a running estimate cleanly within one epoch of the
 // sampling loops (the diameter phase runs to completion first; bound it
 // on large graphs by precomputing with graphinfo or using a generator
@@ -43,10 +59,13 @@
 //	bcapprox -directed -gen scc:n=100000,m=1000000 -backend dist -procs 4
 //	bcapprox -weighted -gen road:rows=300,cols=300 -maxw 10 -backend shm
 //	bcapprox -directed -gen scc:n=50000,m=500000 -backend tcp -rank 0 -hosts h0:9000,h1:9000
+//	bcapprox -gen rmat:scale=16,ef=16 -eps 0.001 -backend shm -checkpoint run.bck
+//	bcapprox -gen rmat:scale=16,ef=16 -backend shm -resume run.bck -eps 0.0005
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -77,11 +96,20 @@ func main() {
 		agg       = flag.String("agg", "ibarrier+reduce", "MPI aggregation: ibarrier+reduce | ireduce | blocking")
 		topK      = flag.Int("top", 10, "print the top-k vertices")
 		certify   = flag.Bool("certify-top", false, "seq mode: use the certified top-k stopping rule (undirected only)")
-		progress  = flag.Bool("progress", false, "print a progress line per epoch")
+		progress  = flag.Bool("progress", false, "print a progress line per epoch (epoch, tau, achieved eps, samples/s)")
 		rank      = flag.Int("rank", -1, "this process's rank (tcp mode)")
 		hosts     = flag.String("hosts", "", "comma-separated host:port per rank (tcp mode)")
+
+		maxSamples = flag.Int64("max-samples", 0, "stop after this many samples and report the achieved guarantee (0 = until eps)")
+		maxDur     = flag.Duration("max-duration", 0, "stop after this much wall clock and report the achieved guarantee (0 = until eps)")
+		ckptPath   = flag.String("checkpoint", "", "seq/shm: persist the session here (written on Ctrl-C and on completion)")
+		resumePath = flag.String("resume", "", "seq/shm: resume a -checkpoint session; explicit -eps/-delta refine it")
 	)
 	flag.Parse()
+	// Resuming takes the statistical identity from the checkpoint; an
+	// explicitly passed -eps/-delta becomes a refinement target instead.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	// -backend supersedes -mode; honour the alias when only -mode is given.
 	switch {
@@ -114,9 +142,16 @@ func main() {
 	if *ranksPer > 1 {
 		opts = append(opts, betweenness.WithHierarchical(*ranksPer))
 	}
+	if *maxSamples > 0 {
+		opts = append(opts, betweenness.WithMaxSamples(*maxSamples))
+	}
+	if *maxDur > 0 {
+		opts = append(opts, betweenness.WithMaxDuration(*maxDur))
+	}
 	if *progress {
 		opts = append(opts, betweenness.WithProgress(func(s betweenness.Snapshot) {
-			fmt.Printf("  epoch %4d: tau=%d\n", s.Epoch, s.Tau)
+			fmt.Printf("  epoch %4d: tau=%d eps'=%.4f %.0f samples/s\n",
+				s.Epoch, s.Tau, s.AchievedEps, s.SamplesPerSec)
 		}))
 	}
 	if *certify {
@@ -145,6 +180,15 @@ func main() {
 		fatal(fmt.Errorf("unknown backend %q", *backend))
 	}
 	opts = append(opts, betweenness.WithExecutor(exec))
+
+	if *ckptPath != "" || *resumePath != "" {
+		if *backend != "seq" && *backend != "shm" {
+			fatal(fmt.Errorf("-checkpoint/-resume need a resumable session (-backend seq or shm), got %q", *backend))
+		}
+		if *certify {
+			fatal(fmt.Errorf("-certify-top runs to completion and cannot be checkpointed or resumed"))
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -194,9 +238,52 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := betweenness.EstimateWorkload(ctx, w, opts...)
+	var est *betweenness.Estimator
+	if *resumePath != "" {
+		est, err = restoreSession(*resumePath, w, opts)
+	} else {
+		est, err = betweenness.NewEstimator(w, opts...)
+	}
 	if err != nil {
 		fatal(err)
+	}
+
+	var res *betweenness.Result
+	if *resumePath != "" && (explicit["eps"] || explicit["delta"]) {
+		// Resume-and-refine: tighten toward the explicitly requested
+		// target, reusing every sample of the checkpointed session. Only
+		// the flags the user actually passed are refined — the rest of
+		// the statistical identity stays with the checkpoint.
+		var refineOpts []betweenness.Option
+		if explicit["eps"] {
+			refineOpts = append(refineOpts, betweenness.WithEpsilon(*eps))
+		}
+		if explicit["delta"] {
+			refineOpts = append(refineOpts, betweenness.WithDelta(*delta))
+		}
+		res, err = est.Refine(ctx, refineOpts...)
+	} else {
+		res, err = est.Run(ctx)
+	}
+	if err != nil {
+		// SIGINT with a checkpoint path: persist the completed work
+		// instead of discarding it.
+		if errors.Is(err, context.Canceled) && *ckptPath != "" {
+			if werr := writeCheckpoint(est, *ckptPath); werr != nil {
+				fatal(werr)
+			}
+			snap := est.Snapshot()
+			fmt.Printf("\ninterrupted: session saved to %s (tau=%d, eps'=%.4f) — continue with -resume %s\n",
+				*ckptPath, snap.Tau, snap.AchievedEps, *ckptPath)
+			return
+		}
+		fatal(err)
+	}
+	if *ckptPath != "" {
+		if werr := writeCheckpoint(est, *ckptPath); werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("session saved to %s (refine it later with -resume)\n", *ckptPath)
 	}
 	if res.Estimates == nil {
 		// TCP mode, non-root rank: the result lives at rank 0.
@@ -206,6 +293,12 @@ func main() {
 
 	fmt.Printf("done in %v [%s]: tau=%d omega=%.0f vertex-diameter=%d\n",
 		time.Since(start).Round(time.Millisecond), res.Backend, res.Tau, res.Omega, res.VertexDiameter)
+	if res.Converged {
+		fmt.Printf("guarantee: converged, achieved eps'=%.6f\n", res.AchievedEps)
+	} else {
+		fmt.Printf("guarantee: budget stop before the target eps — achieved eps'=%.6f (resume or refine to tighten)\n",
+			res.AchievedEps)
+	}
 	fmt.Printf("phases: diameter=%v calibration=%v sampling=%v\n",
 		res.Timings.Diameter.Round(time.Millisecond),
 		res.Timings.Calibration.Round(time.Millisecond),
@@ -270,6 +363,36 @@ func loadWGraph(path, spec string, maxW uint32, seed uint64) (*graph.WGraph, err
 	default:
 		return nil, fmt.Errorf("need -graph FILE (weighted edge list) or -gen SPEC with -maxw")
 	}
+}
+
+// restoreSession opens a -resume checkpoint and rebinds it to the workload.
+func restoreSession(path string, w betweenness.Workload, opts []betweenness.Option) (*betweenness.Estimator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return betweenness.RestoreEstimator(f, w, opts...)
+}
+
+// writeCheckpoint persists the session atomically enough for a CLI: write
+// to a temp file next to the target, then rename over it.
+func writeCheckpoint(est *betweenness.Estimator, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := est.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(err error) {

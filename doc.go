@@ -46,4 +46,33 @@
 // reports both the dense-equivalent CommVolumePerEpoch bound and the
 // actual ReduceWireBytes. See the README's Performance section for
 // measured numbers.
+//
+// # Anytime estimation sessions
+//
+// The adaptive loop holds a valid (eps', delta) guarantee after every
+// epoch, and the session API exposes it: betweenness.NewEstimator returns
+// a resumable handle that validates the workload and resolves the vertex
+// diameter once, then owns the sampling state across calls —
+//
+//	est, _ := betweenness.NewEstimator(betweenness.Undirected(g),
+//	        betweenness.WithEpsilon(0.01),
+//	        betweenness.WithMaxDuration(2*time.Second))
+//	res, _ := est.Run(ctx)              // target eps OR budget, whichever first
+//	snap := est.Snapshot()              // estimates + achieved eps, any time
+//	res, _ = est.Refine(ctx,            // tighter target, every sample reused
+//	        betweenness.WithEpsilon(0.001))
+//	_ = est.Checkpoint(file)            // survive restarts ...
+//	est2, _ := betweenness.RestoreEstimator(file, betweenness.Undirected(g))
+//
+// EstimateWorkload is literally NewEstimator followed by one Run. Budgets
+// (WithMaxSamples, WithMaxDuration) work on every backend — including the
+// MPI/TCP ones, where rank 0 folds the budget stop into the termination
+// broadcast — and an early-stopped Result reports Converged == false with
+// the honestly achieved guarantee in AchievedEps. Sessions are resumable
+// (Refine/Checkpoint/repeated Run) on the Sequential and SharedMemory
+// backends; a sequential session interrupted via checkpoint and resumed in
+// a fresh process is bit-identical to the uninterrupted run. Elsewhere the
+// handle degrades honestly: Refine returns ErrNotRefinable and Checkpoint
+// ErrNotCheckpointable. Checkpoints are versioned and CRC-protected;
+// corrupted or version-skewed bytes error out instead of panicking.
 package repro

@@ -32,6 +32,7 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	start := time.Now()
 	kcfg := cfg.Config
 	if kcfg.Eps == 0 {
 		kcfg.Eps = 0.01
@@ -65,12 +66,23 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	takeSample := func() { kadabra.SampleInto(sampler, loc) }
 	overlap := cfg.overlapFn(takeSample)
 
+	// Budget stopping (anytime sessions): rank 0 enforces the sample cap
+	// against the global tau; every rank honours the wall-clock deadline
+	// in its own calibration batch.
+	budget := kcfg.NewBudget(start)
+	// The progress throughput counts from here: tau includes the
+	// calibration samples, so its clock must too.
+	rateStart := time.Now()
+
 	// Phase 2: calibration. phase2 encodes loc while it holds exactly the
 	// calibration samples; reset right after so the epoch loop starts from
 	// an empty local frame.
 	cal, calCounts, calTau, calTime, err := phase2(comm, cfg, n, omega,
 		func(perThread int) *epoch.StateFrame {
 			for i := 0; i < perThread; i++ {
+				if i%256 == 0 && budget.Overdue() {
+					break
+				}
 				takeSample()
 			}
 			return loc
@@ -88,11 +100,14 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		STau = calTau
 	}
 
+	converged := false
+
 	// Degenerate case: the calibration samples may already satisfy the
 	// stopping condition (tiny graphs, loose eps).
 	var code int64
 	if comm.Rank() == root {
-		code = stopCode(cal.HaveToStop(S, STau), ctx.Err(), false)
+		converged = cal.HaveToStop(S, STau)
+		code = stopCode(converged || budget.Exceeded(STau), ctx.Err(), false)
 	}
 	code, err = broadcastCode(comm, root, code, overlap)
 	if err != nil {
@@ -135,12 +150,12 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 			}
 			STau += tau
 			cs := time.Now()
-			stop := cal.HaveToStop(S, STau)
+			converged = cal.HaveToStop(S, STau)
 			checkTime += time.Since(cs)
 			if cfg.OnEpoch != nil {
-				cfg.OnEpoch(stats.Epochs, STau)
+				cfg.OnEpoch(progressAt(cal, S, STau, stats.Epochs, rateStart))
 			}
-			next = stopCode(stop, ctx.Err(), remoteCancelled)
+			next = stopCode(converged || budget.Exceeded(STau), ctx.Err(), remoteCancelled)
 		}
 		code, err = broadcastCode(comm, root, next, overlap)
 		if err != nil {
@@ -156,7 +171,7 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	res := &Result{Stats: stats}
 	if comm.Rank() == root {
 		res.Stats.Samples = STau
-		res.Res = finalize(n, S, STau, omega, vd, stats.Epochs, kadabra.Timings{
+		res.Res = finalize(cal, n, S, STau, omega, vd, stats.Epochs, converged, kadabra.Timings{
 			Diameter:    diamTime,
 			Calibration: calTime,
 			Sampling:    samplingTime,

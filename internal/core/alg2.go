@@ -37,6 +37,7 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	start := time.Now()
 	kcfg := cfg.Config
 	if kcfg.Eps == 0 {
 		kcfg.Eps = 0.01
@@ -67,6 +68,15 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		samplers[t] = w.NewSampler(rng.NewRand(sm.Next()))
 	}
 
+	// Budget stopping (anytime sessions): rank 0 enforces the sample cap
+	// against the global tau; every rank honours the wall-clock deadline
+	// in its own calibration threads.
+	budget := kcfg.NewBudget(start)
+	converged := false
+	// The progress throughput counts from here: tau includes the
+	// calibration samples, so its clock must too.
+	rateStart := time.Now()
+
 	// Phase 2: calibration — all T threads of all processes sample a fixed
 	// share in parallel, then one blocking merge-reduction (§IV-F:
 	// "Parallelizing the computation of the initial fixed number of samples
@@ -83,6 +93,9 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 					defer wg.Done()
 					local := cfg.newFrame(n)
 					for i := 0; i < perThread; i++ {
+						if i%256 == 0 && budget.Overdue() {
+							break
+						}
 						kadabra.SampleInto(samplers[t], local)
 					}
 					partial[t] = local
@@ -164,7 +177,7 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		res := &Result{Stats: stats}
 		if comm.Rank() == root {
 			res.Stats.Samples = STau
-			res.Res = finalize(n, S, STau, omega, vd, stats.Epochs, kadabra.Timings{
+			res.Res = finalize(cal, n, S, STau, omega, vd, stats.Epochs, converged, kadabra.Timings{
 				Diameter:    diamTime,
 				Calibration: calTime,
 				Sampling:    samplingTime,
@@ -183,7 +196,8 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	// Degenerate case: calibration alone may satisfy the stopping condition.
 	var code int64
 	if comm.Rank() == root {
-		code = stopCode(cal.HaveToStop(S, STau), ctx.Err(), false)
+		converged = cal.HaveToStop(S, STau)
+		code = stopCode(converged || budget.Exceeded(STau), ctx.Err(), false)
 	}
 	code, err = broadcastCode(comm, root, code, overlap)
 	if err != nil {
@@ -267,12 +281,12 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 			}
 			STau += tau
 			cs := time.Now()
-			stop := cal.HaveToStop(S, STau)
+			converged = cal.HaveToStop(S, STau)
 			checkTime += time.Since(cs)
 			if cfg.OnEpoch != nil {
-				cfg.OnEpoch(stats.Epochs, STau)
+				cfg.OnEpoch(progressAt(cal, S, STau, stats.Epochs, rateStart))
 			}
-			next = stopCode(stop, ctx.Err(), remoteCancelled)
+			next = stopCode(converged || budget.Exceeded(STau), ctx.Err(), remoteCancelled)
 		}
 
 		// Broadcast the termination code with overlap (lines 25-27).

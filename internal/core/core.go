@@ -76,12 +76,18 @@ type Config struct {
 	// reduced node-locally before the leaders run the global reduction.
 	RanksPerNode int
 	// OnEpoch, when non-nil, is invoked at world rank 0 after every epoch's
-	// aggregation with the epoch index and the consistent global state
-	// (tau, number of epochs so far). It runs on the coordinator thread
-	// between the stopping check and the termination broadcast, so it must
-	// be cheap; it is intended for progress reporting and convergence
-	// tracing.
-	OnEpoch func(epoch int, tau int64)
+	// aggregation with a consistent progress observation of the global
+	// state. It runs on the coordinator thread between the stopping check
+	// and the termination broadcast, so it must be cheap; registering it
+	// makes every epoch pay the O(n) achieved-eps sweep on top of the
+	// amortized O(1) stopping check. It is intended for progress reporting
+	// and convergence tracing. (The budget knobs — MaxSamples, MaxDuration
+	// — live on the embedded kadabra.Config: rank 0 enforces them against
+	// the global tau and its own clock, folding a budget stop into the
+	// same termination broadcast as a converged stop, so every rank leaves
+	// the collective loop in lockstep and rank 0's result reports the
+	// achieved guarantee with Converged == false.)
+	OnEpoch func(kadabra.Progress)
 	// NoOverlap disables overlap sampling during communication waits
 	// (barrier polls, non-blocking reductions and broadcasts yield instead
 	// of sampling). With Threads <= 1 every rank then takes exactly n0
@@ -215,6 +221,16 @@ func phase2(comm *mpi.Comm, cfg Config, n int, omega float64,
 	tau0 := int64(omega)/int64(kcfg.StartFactor) + 1
 	totalWorkers := comm.Size() * cfg.threads()
 	perThread := int(tau0)/totalWorkers + 1
+	// A sample budget smaller than the calibration batch caps each
+	// thread's share; the wall-clock deadline is enforced inside the
+	// callers' sampling loops (each rank checks its own clock — the
+	// reduce merges whatever was taken, and the calibration heuristic
+	// tolerates a short batch: it only influences running time).
+	if kcfg.MaxSamples > 0 {
+		if cap := int(kcfg.MaxSamples)/totalWorkers + 1; cap < perThread {
+			perThread = cap
+		}
+	}
 
 	local := sampleBatch(perThread)
 	buf := epoch.AppendWire(nil, local, false)
@@ -329,11 +345,21 @@ func cancelResult(ctx context.Context, code int64) error {
 	return nil
 }
 
-// finalize converts the aggregated state at rank 0 into a kadabra.Result.
-func finalize(n int, counts []int64, tau int64, omega float64, vd int, epochs int, t kadabra.Timings) *kadabra.Result {
+// finalize converts the aggregated state at rank 0 into a kadabra.Result,
+// reporting the anytime guarantee the state actually holds (equal to or
+// tighter than the target eps when converged, the honest looser bound when
+// a budget stopped the run early).
+func finalize(cal *kadabra.Calibration, n int, counts []int64, tau int64, omega float64, vd int,
+	epochs int, converged bool, t kadabra.Timings) *kadabra.Result {
 	bt := make([]float64, n)
-	for v, c := range counts {
-		bt[v] = float64(c) / float64(tau)
+	if tau > 0 {
+		for v, c := range counts {
+			bt[v] = float64(c) / float64(tau)
+		}
+	}
+	achieved := 1.0
+	if cal != nil {
+		achieved = cal.AchievedEps(counts, tau)
 	}
 	return &kadabra.Result{
 		Betweenness:    bt,
@@ -341,6 +367,18 @@ func finalize(n int, counts []int64, tau int64, omega float64, vd int, epochs in
 		Omega:          omega,
 		VertexDiameter: vd,
 		Epochs:         epochs,
+		AchievedEps:    achieved,
+		Converged:      converged,
 		Timings:        t,
 	}
+}
+
+// progressAt builds the rank-0 per-epoch progress observation; only called
+// when Config.OnEpoch is registered (it pays the O(n) achieved-eps sweep).
+func progressAt(cal *kadabra.Calibration, counts []int64, tau int64, epochs int, since time.Time) kadabra.Progress {
+	p := kadabra.Progress{Epoch: epochs, Tau: tau, AchievedEps: cal.AchievedEps(counts, tau)}
+	if el := time.Since(since).Seconds(); el > 0 && tau > 0 {
+		p.SamplesPerSec = float64(tau) / el
+	}
+	return p
 }

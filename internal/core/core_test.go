@@ -277,12 +277,14 @@ func TestOnEpochHook(t *testing.T) {
 	g := testGraph()
 	var epochs []int
 	var taus []int64
+	var achieved []float64
 	_, err := RunLocal(context.Background(), kadabra.UndirectedWorkload(g), 2, Config{
 		Config:  kadabra.Config{Eps: 0.03, Delta: 0.1, Seed: 21},
 		Threads: 2,
-		OnEpoch: func(e int, tau int64) {
-			epochs = append(epochs, e)
-			taus = append(taus, tau)
+		OnEpoch: func(p kadabra.Progress) {
+			epochs = append(epochs, p.Epoch)
+			taus = append(taus, p.Tau)
+			achieved = append(achieved, p.AchievedEps)
 		},
 	}, VariantEpoch)
 	if err != nil {
@@ -290,6 +292,11 @@ func TestOnEpochHook(t *testing.T) {
 	}
 	if len(epochs) == 0 {
 		t.Fatal("OnEpoch never invoked")
+	}
+	for i, eps := range achieved {
+		if eps <= 0 || eps > 1 {
+			t.Fatalf("epoch %d: achieved eps %g outside (0, 1]", epochs[i], eps)
+		}
 	}
 	for i := 1; i < len(taus); i++ {
 		if taus[i] <= taus[i-1] {

@@ -274,6 +274,45 @@ func (cal *Calibration) HaveToStop(counts []int64, tau int64) bool {
 	return true
 }
 
+// AchievedEps returns the anytime guarantee eps' held by a consistent
+// state: with probability at least 1-delta, every estimate is within eps'
+// of the truth, where eps' is the largest per-vertex error bound
+//
+//	eps' = max_x max(f(btilde(x), deltaL(x), omega, tau),
+//	                 g(btilde(x), deltaU(x), omega, tau)).
+//
+// This is the quantity the adaptive loop drives below the target eps; the
+// paper's anytime property is exactly that eps' is a valid guarantee after
+// every epoch, so a budget-stopped run can report it honestly. Once tau has
+// reached omega the static VC bound caps eps' at the target eps. The sweep
+// is O(n); callers on hot paths should invoke it only when reporting.
+func (cal *Calibration) AchievedEps(counts []int64, tau int64) float64 {
+	if tau <= 0 {
+		return 1
+	}
+	if cal.logDL == nil {
+		cal.deriveCheckState(nil)
+	}
+	ft := float64(tau)
+	worst := 0.0
+	for v, c := range counts {
+		bt := float64(c) / ft
+		if f := fBoundLog(bt, cal.logDL[v], cal.Omega, tau); f > worst {
+			worst = f
+		}
+		if g := gBoundLog(bt, cal.logDU[v], cal.Omega, tau); g > worst {
+			worst = g
+		}
+	}
+	if ft >= cal.Omega && worst > cal.Eps {
+		worst = cal.Eps
+	}
+	if worst > 1 {
+		worst = 1
+	}
+	return worst
+}
+
 // vertexFails reports whether v currently violates either error bound.
 func (cal *Calibration) vertexFails(v uint32, c int64, ft float64, tau int64) bool {
 	bt := float64(c) / ft

@@ -1,0 +1,287 @@
+package kadabra
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// resultsBitIdentical compares everything except wall-clock timings.
+func resultsBitIdentical(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if a.Tau != b.Tau {
+		t.Fatalf("%s: tau %d vs %d", label, a.Tau, b.Tau)
+	}
+	if a.Epochs != b.Epochs {
+		t.Fatalf("%s: epochs %d vs %d", label, a.Epochs, b.Epochs)
+	}
+	if a.Omega != b.Omega || a.VertexDiameter != b.VertexDiameter {
+		t.Fatalf("%s: omega/vd differ: %f/%d vs %f/%d",
+			label, a.Omega, a.VertexDiameter, b.Omega, b.VertexDiameter)
+	}
+	if a.AchievedEps != b.AchievedEps {
+		t.Fatalf("%s: achieved eps %g vs %g", label, a.AchievedEps, b.AchievedEps)
+	}
+	if a.Converged != b.Converged {
+		t.Fatalf("%s: converged %v vs %v", label, a.Converged, b.Converged)
+	}
+	for v := range a.Betweenness {
+		if a.Betweenness[v] != b.Betweenness[v] {
+			t.Fatalf("%s: estimates differ at vertex %d: %g vs %g",
+				label, v, a.Betweenness[v], b.Betweenness[v])
+		}
+	}
+}
+
+// TestEstimatorStateBitIdenticalResume is the core checkpoint guarantee: a
+// sequential run stopped mid-sampling by a sample budget, checkpointed,
+// restored into a fresh state machine, and run to completion produces a
+// bit-identical Result to an uninterrupted run — in both the dense-frame
+// and sparse-frame representations.
+func TestEstimatorStateBitIdenticalResume(t *testing.T) {
+	g := testGraph()
+	for _, dense := range []bool{true, false} {
+		name := "sparse"
+		if dense {
+			name = "dense"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{Eps: 0.03, Delta: 0.1, Seed: 11, DenseFrames: dense}
+			w := UndirectedWorkload(g)
+
+			full, err := NewEstimatorState(w, 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := full.Run(context.Background(), Budget{}); err != nil {
+				t.Fatal(err)
+			}
+			want := full.Result()
+			if !want.Converged {
+				t.Fatal("uninterrupted run did not converge")
+			}
+
+			// Interrupt at several points, including mid-calibration and
+			// off-CheckInterval-boundary taus.
+			for _, cut := range []int64{50, want.Tau / 3, want.Tau/2 + 137} {
+				st, err := NewEstimatorState(w, 0, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Run(context.Background(), Budget{MaxSamples: cut}); err != nil {
+					t.Fatal(err)
+				}
+				if st.Tau() != cut {
+					t.Fatalf("cut %d: budget stop at tau %d", cut, st.Tau())
+				}
+				if st.Converged() {
+					t.Fatalf("cut %d: converged at the budget stop", cut)
+				}
+				ckpt := st.AppendCheckpoint(nil)
+				restored, err := RestoreEstimatorState(ckpt, UndirectedWorkload(g))
+				if err != nil {
+					t.Fatalf("cut %d: restore: %v", cut, err)
+				}
+				if err := restored.Run(context.Background(), Budget{}); err != nil {
+					t.Fatal(err)
+				}
+				resultsBitIdentical(t, want, restored.Result(), name)
+			}
+		})
+	}
+}
+
+// TestEstimatorStateRepeatedRunsIdentical: pausing and resuming through
+// many small budgets (without serialization) walks the exact path of one
+// uninterrupted run.
+func TestEstimatorStateRepeatedRunsIdentical(t *testing.T) {
+	g := testGraph()
+	cfg := Config{Eps: 0.05, Delta: 0.1, Seed: 3}
+	full, err := NewEstimatorState(UndirectedWorkload(g), 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Run(context.Background(), Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	want := full.Result()
+
+	st, err := NewEstimatorState(UndirectedWorkload(g), 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := int64(400); !st.Converged(); step += 400 {
+		if err := st.Run(context.Background(), Budget{MaxSamples: step}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resultsBitIdentical(t, want, st.Result(), "stepped")
+}
+
+// TestEstimatorStateShmCheckpointResume: a shared-memory session paused
+// mid-calibration by a sample budget (where the overshoot is bounded per
+// worker regardless of scheduling — an adaptive-phase epoch's size scales
+// with wall time on an oversubscribed box), checkpointed, restored, and
+// run to completion grows its sample count and still satisfies the
+// guarantee vs Brandes. Bit-identity is a sequential-only promise — the
+// epoch overlap is schedule-dependent.
+func TestEstimatorStateShmCheckpointResume(t *testing.T) {
+	g := testGraph()
+	const eps = 0.02
+	const threads = 3
+	cfg := Config{Eps: eps, Delta: 0.1, Seed: 9}
+	st, err := NewEstimatorState(UndirectedWorkload(g), threads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau0 := int64(st.Omega())/100 + 1
+	pauseAt := tau0 / 2
+	if err := st.Run(context.Background(), Budget{MaxSamples: pauseAt}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Calibrated() || st.Converged() {
+		t.Fatalf("budget %d (< tau0 %d) did not pause mid-calibration", pauseAt, tau0)
+	}
+	paused := st.Tau()
+	if paused < pauseAt || paused > pauseAt+threads {
+		t.Fatalf("mid-calibration pause at tau %d, want within [%d, %d]", paused, pauseAt, pauseAt+threads)
+	}
+	ckpt := st.AppendCheckpoint(nil)
+
+	restored, err := RestoreEstimatorState(ckpt, UndirectedWorkload(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Threads() != threads {
+		t.Fatalf("restored thread count %d, want %d", restored.Threads(), threads)
+	}
+	if restored.Tau() != paused {
+		t.Fatalf("restored tau %d, want %d", restored.Tau(), paused)
+	}
+	if err := restored.Run(context.Background(), Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	res := restored.Result()
+	if res.Tau <= paused {
+		t.Fatalf("resumed run did not sample: tau %d vs paused %d", res.Tau, paused)
+	}
+	if !res.Converged {
+		t.Fatal("resumed run did not converge")
+	}
+	guaranteeCheck(t, g, res, eps)
+}
+
+// TestEstimatorStateRecalibrateKeepsSamples: refining to a tighter eps
+// strictly grows tau (never resets) and the refined state satisfies the
+// tighter guarantee.
+func TestEstimatorStateRecalibrateKeepsSamples(t *testing.T) {
+	g := testGraph()
+	st, err := NewEstimatorState(UndirectedWorkload(g), 0, Config{Eps: 0.1, Delta: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Run(context.Background(), Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	coarse := st.Tau()
+	if !st.Converged() {
+		t.Fatal("coarse run did not converge")
+	}
+	st.Recalibrate(0.03, 0.1)
+	if st.Converged() {
+		t.Fatal("recalibration did not reset convergence")
+	}
+	if st.Tau() != coarse {
+		t.Fatalf("recalibration changed tau: %d vs %d", st.Tau(), coarse)
+	}
+	if err := st.Run(context.Background(), Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	res := st.Result()
+	if res.Tau <= coarse {
+		t.Fatalf("refinement did not grow tau: %d vs %d", res.Tau, coarse)
+	}
+	if res.AchievedEps > 0.03 {
+		t.Fatalf("refined achieved eps %g exceeds target 0.03", res.AchievedEps)
+	}
+	guaranteeCheck(t, g, res, 0.03)
+}
+
+// TestEstimatorStateBudgets: the sample budget stops at exactly the cap
+// (sequential engine), the deadline budget returns promptly, and both
+// leave an honest achieved-eps behind.
+func TestEstimatorStateBudgets(t *testing.T) {
+	g := testGraph()
+	st, err := NewEstimatorState(UndirectedWorkload(g), 0, Config{Eps: 0.005, Delta: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Run(context.Background(), Budget{MaxSamples: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tau() != 2000 {
+		t.Fatalf("sequential sample budget stopped at tau %d, want exactly 2000", st.Tau())
+	}
+	res := st.Result()
+	if res.Converged {
+		t.Fatal("budget-stopped run reported convergence")
+	}
+	if res.AchievedEps <= 0.005 || res.AchievedEps > 1 {
+		t.Fatalf("implausible achieved eps %g after 2000 samples at target 0.005", res.AchievedEps)
+	}
+
+	begin := time.Now()
+	if err := st.Run(context.Background(), Budget{Deadline: time.Now().Add(150 * time.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Fatalf("deadline-budgeted run took %v", elapsed)
+	}
+	if st.Tau() <= 2000 {
+		t.Fatal("deadline run did not advance the state")
+	}
+	after := st.Result().AchievedEps
+	if after >= res.AchievedEps {
+		t.Fatalf("achieved eps did not tighten: %g -> %g", res.AchievedEps, after)
+	}
+}
+
+// TestRestoreEstimatorStateRejectsGarbage: structural validation of the
+// internal payload (the public envelope adds magic + CRC on top).
+func TestRestoreEstimatorStateRejectsGarbage(t *testing.T) {
+	g := testGraph()
+	w := UndirectedWorkload(g)
+	st, err := NewEstimatorState(w, 0, Config{Eps: 0.05, Delta: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Run(context.Background(), Budget{MaxSamples: 500}); err != nil {
+		t.Fatal(err)
+	}
+	valid := st.AppendCheckpoint(nil)
+
+	if _, err := RestoreEstimatorState(valid, w); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	for _, cut := range []int{0, 1, 2, 7, len(valid) / 2, len(valid) - 1} {
+		if _, err := RestoreEstimatorState(valid[:cut], w); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := RestoreEstimatorState(append(valid[:len(valid):len(valid)], 0xFF), w); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	versionSkew := append([]byte(nil), valid...)
+	versionSkew[0] = 0xFE
+	if _, err := RestoreEstimatorState(versionSkew, w); err == nil {
+		t.Error("version skew accepted")
+	}
+	// A checkpoint over a different vertex count must not bind.
+	smaller, _ := graph.LargestComponent(gen.RMAT(gen.Graph500(7, 8, 17)))
+	if _, err := RestoreEstimatorState(valid, UndirectedWorkload(smaller)); err == nil {
+		t.Error("vertex-count mismatch accepted")
+	}
+}

@@ -44,11 +44,25 @@ type Config struct {
 	// cost shows up in Fig. 2b; the cap trades tightness for speed.
 	DiameterBFSCap int
 	// OnEpoch, when non-nil, is invoked after every epoch aggregation
-	// (SharedMemory) or stopping check (Sequential) with the epoch index
-	// and the consistent sample count. It runs on the coordinator thread
-	// between the stopping check and the next epoch, so it must be cheap;
-	// it exists for progress reporting and convergence tracing.
-	OnEpoch func(epoch int, tau int64)
+	// (SharedMemory) or stopping check (Sequential) with a consistent
+	// Progress observation. It runs on the coordinator thread between the
+	// stopping check and the next epoch, so it must be cheap; it exists
+	// for progress reporting and convergence tracing. Registering it makes
+	// every epoch pay the O(n) achieved-eps sweep on top of the amortized
+	// O(1) stopping check.
+	OnEpoch func(Progress)
+	// MaxSamples, when positive, is a sampling budget: the run stops once
+	// the consistent sample count tau reaches it, even if the adaptive
+	// stopping rule has not been satisfied. The result then carries
+	// Converged == false and reports the guarantee actually achieved in
+	// AchievedEps.
+	MaxSamples int64
+	// MaxDuration, when positive, is a wall-clock budget for one driver
+	// call, measured from its entry (so it covers the diameter and
+	// calibration phases too). The sampling loops stop within one epoch
+	// (one deadline-check batch, for the sequential driver) of the
+	// deadline and report the achieved guarantee, like MaxSamples.
+	MaxDuration time.Duration
 	// DenseFrames disables the sparse touched-vertex tracking in the epoch
 	// state frames (and, on the MPI backends, ships classic dense wire
 	// frames). It reproduces the pre-sparse behavior bit for bit and exists
@@ -91,6 +105,60 @@ func (c Config) EpochLength(totalWorkers int) int {
 	return int(n0)
 }
 
+// Progress is one consistent observation of a running estimate, delivered
+// to Config.OnEpoch after every epoch (or stopping check, for the
+// sequential driver) and by the anytime estimator's Snapshot.
+type Progress struct {
+	// Epoch is the 1-based index of the completed epoch (stopping check).
+	Epoch int
+	// Tau is the number of samples in the consistent aggregated state.
+	Tau int64
+	// AchievedEps is the anytime guarantee currently held: with
+	// probability 1-delta, every estimate is within AchievedEps of the
+	// truth. It is 1 (vacuous) before calibration and tightens toward the
+	// target eps as sampling proceeds.
+	AchievedEps float64
+	// SamplesPerSec is the observed sampling throughput, averaged over the
+	// calibration and adaptive phases so far.
+	SamplesPerSec float64
+}
+
+// Budget bounds one EstimatorState.Run call: an absolute cap on the
+// consistent sample count tau, plus a wall-clock deadline. The zero value
+// means unbounded. A budget-stopped run leaves the state consistent and
+// resumable; the result reports the guarantee actually achieved.
+type Budget struct {
+	// MaxSamples, when positive, stops the run once tau reaches it. The
+	// sequential engine stops at exactly this tau; the epoch-based engines
+	// may overshoot by up to one epoch (one calibration share per thread).
+	MaxSamples int64
+	// Deadline, when non-zero, stops the run once the wall clock passes
+	// it, within one epoch (one deadline-check batch, sequentially).
+	Deadline time.Time
+}
+
+// NewBudget resolves the Config budget fields against a start instant.
+func (c Config) NewBudget(start time.Time) Budget {
+	b := Budget{MaxSamples: c.MaxSamples}
+	if c.MaxDuration > 0 {
+		b.Deadline = start.Add(c.MaxDuration)
+	}
+	return b
+}
+
+// Exceeded reports whether the budget has run out at the given tau.
+func (b Budget) Exceeded(tau int64) bool {
+	if b.MaxSamples > 0 && tau >= b.MaxSamples {
+		return true
+	}
+	return b.Overdue()
+}
+
+// Overdue reports whether the wall-clock deadline has passed.
+func (b Budget) Overdue() bool {
+	return !b.Deadline.IsZero() && !time.Now().Before(b.Deadline)
+}
+
 // Timings records wall-clock time per phase, the raw material of the
 // paper's Figure 2b breakdown.
 type Timings struct {
@@ -122,6 +190,15 @@ type Result struct {
 	// Epochs is the number of completed epochs (parallel variants; the
 	// sequential algorithm reports the number of stopping checks).
 	Epochs int
+	// AchievedEps is the guarantee actually achieved: with probability
+	// 1-delta every estimate is within AchievedEps of the truth. It is at
+	// most the target eps when Converged, and the honest (looser) anytime
+	// bound when a budget stopped the run early.
+	AchievedEps float64
+	// Converged reports whether the adaptive stopping rule was satisfied
+	// (or tau reached omega); false means a sampling budget ended the run
+	// before the target eps was reached.
+	Converged bool
 	// Timings is the per-phase wall-clock breakdown.
 	Timings Timings
 }

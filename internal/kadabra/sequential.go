@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/rng"
 )
 
 // Sequential runs the plain (single-threaded) KADABRA algorithm. It is the
@@ -22,82 +21,24 @@ func Sequential(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error
 	return runSequential(ctx, UndirectedWorkload(g), cfg)
 }
 
-// runSequential is the generic single-threaded driver shared by the
-// undirected, directed, and weighted scenarios: only the sampling kernel and
-// the phase-1 bound differ per workload; the statistical machinery (omega,
-// calibration, the adaptive stopping rule), cancellation, and the OnEpoch
-// hook are workload-agnostic.
+// runSequential is the one-shot wrapper over the sequential engine of the
+// anytime estimator state machine (estimator.go): build the session, run it
+// to completion (or to the Config budget), and materialize the result. The
+// statistical machinery (omega, calibration, the adaptive stopping rule),
+// cancellation, budgets, and the OnEpoch hook all live in the machine, so
+// one-shot runs and resumable sessions are the same code path sample for
+// sample.
 func runSequential(ctx context.Context, w Workload, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	n := w.n
-
-	// Phase 1: diameter -> omega.
-	vd, diamTime := w.ResolveDiameter(cfg)
+	start := time.Now()
+	st, err := NewEstimatorState(w, 0, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	omega := Omega(vd, cfg.Eps, cfg.Delta)
-
-	sampler := w.newSampler(rng.NewRand(cfg.Seed))
-	// The accumulated state S: sparse-tracked until it naturally passes the
-	// density cutover (a long run touches most vertices eventually).
-	S := newStateFrame(n, cfg)
-
-	// Phase 2: calibration with tau0 = omega/StartFactor non-adaptive
-	// samples. The samples are kept in the running state, as in the
-	// original algorithm.
-	calStart := time.Now()
-	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
-	for S.Tau < tau0 {
-		if S.Tau%int64(cfg.CheckInterval) == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		SampleInto(sampler, S)
+	if err := st.Run(ctx, cfg.NewBudget(start)); err != nil {
+		return nil, err
 	}
-	cal := Calibrate(S.C, S.Tau, omega, cfg.Eps, cfg.Delta)
-	calTime := time.Since(calStart)
-
-	// Phase 3: adaptive sampling.
-	samplingStart := time.Now()
-	checks := 0
-	var checkTime time.Duration
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cs := time.Now()
-		stop := cal.HaveToStop(S.C, S.Tau)
-		checkTime += time.Since(cs)
-		checks++
-		if cfg.OnEpoch != nil {
-			cfg.OnEpoch(checks, S.Tau)
-		}
-		if stop {
-			break
-		}
-		for i := 0; i < cfg.CheckInterval && float64(S.Tau) < omega; i++ {
-			SampleInto(sampler, S)
-		}
-	}
-	samplingTime := time.Since(samplingStart)
-
-	bt := make([]float64, n)
-	for v, c := range S.C {
-		bt[v] = float64(c) / float64(S.Tau)
-	}
-	return &Result{
-		Betweenness:    bt,
-		Tau:            S.Tau,
-		Omega:          omega,
-		VertexDiameter: vd,
-		Epochs:         checks,
-		Timings: Timings{
-			Diameter:    diamTime,
-			Calibration: calTime,
-			Sampling:    samplingTime,
-			Check:       checkTime,
-		},
-	}, nil
+	return st.Result(), nil
 }

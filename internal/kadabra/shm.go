@@ -4,7 +4,6 @@ import (
 	"context"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bfs"
@@ -33,151 +32,28 @@ func SharedMemory(ctx context.Context, g *graph.Graph, threads int, cfg Config) 
 	return runSharedMemory(ctx, UndirectedWorkload(g), threads, cfg)
 }
 
-// runSharedMemory is the generic epoch-based driver shared by the
-// undirected, directed, and weighted scenarios (see workload.go): the epoch
-// framework, cancellation, and the OnEpoch hook are workload-agnostic; only
-// the sampling kernel each thread runs differs.
+// runSharedMemory is the one-shot wrapper over the shared-memory engine of
+// the anytime estimator state machine (estimator.go): build the session
+// with the resolved thread count, run it to completion (or to the Config
+// budget), and materialize the result. The epoch framework, cancellation,
+// budgets, and the OnEpoch hook live in the machine, workload-agnostic;
+// only the sampling kernel each thread runs differs.
 func runSharedMemory(ctx context.Context, w Workload, threads int, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+	start := time.Now()
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	n := w.n
-
-	// Phase 1: diameter.
-	vd, diamTime := w.ResolveDiameter(cfg)
+	st, err := NewEstimatorState(w, threads, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	omega := Omega(vd, cfg.Eps, cfg.Delta)
-
-	// Per-thread samplers with split RNG streams.
-	master := rng.NewRand(cfg.Seed)
-	samplers := make([]Sampler, threads)
-	for i := range samplers {
-		samplers[i] = w.newSampler(master.Split())
+	if err := st.Run(ctx, cfg.NewBudget(start)); err != nil {
+		return nil, err
 	}
-
-	// Phase 2: calibration — pleasingly parallel fixed-size sampling
-	// followed by a blocking aggregation (paper §IV-F). The per-thread
-	// partial states are sparse frames, so the merge costs O(touched) per
-	// thread instead of O(T·n).
-	calStart := time.Now()
-	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
-	// S is the aggregated state; it starts from the calibration samples,
-	// which the algorithm keeps (paper §III-A phase 2 feeds phase 3), and
-	// cuts over to dense on its own as the run fills it up.
-	S := newStateFrame(n, cfg)
-	{
-		var wg sync.WaitGroup
-		partial := make([]*epoch.StateFrame, threads)
-		per := int(tau0)/threads + 1
-		for t := 0; t < threads; t++ {
-			wg.Add(1)
-			go func(t int) {
-				defer wg.Done()
-				local := newStateFrame(n, cfg)
-				for i := 0; i < per; i++ {
-					if i%256 == 0 && ctx.Err() != nil {
-						break
-					}
-					SampleInto(samplers[t], local)
-				}
-				partial[t] = local
-			}(t)
-		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for t := 0; t < threads; t++ {
-			S.Add(partial[t])
-		}
-	}
-	cal := Calibrate(S.C, S.Tau, omega, cfg.Eps, cfg.Delta)
-	calTime := time.Since(calStart)
-
-	// Phase 3: epoch-based adaptive sampling.
-	samplingStart := time.Now()
-	fw := epoch.New(threads, n)
-	if cfg.DenseFrames {
-		fw.ForceDense()
-	}
-	var done atomic.Bool
-	var wg sync.WaitGroup
-	for t := 1; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			sf := fw.Frame(t)
-			for !done.Load() {
-				SampleInto(samplers[t], sf)
-				if fw.CheckTransition(t) {
-					sf = fw.Frame(t)
-				}
-			}
-			for fw.CheckTransition(t) {
-			}
-		}(t)
-	}
-
-	n0 := cfg.EpochLength(threads)
-	var e uint64
-	var transTime, checkTime time.Duration
-	epochs := 0
-	coord := samplers[0]
-	for {
-		if err := ctx.Err(); err != nil {
-			done.Store(true)
-			wg.Wait()
-			return nil, err
-		}
-		sf := fw.Frame(0)
-		for i := 0; i < n0; i++ {
-			SampleInto(coord, sf)
-		}
-		ts := time.Now()
-		fw.ForceTransition()
-		next := fw.Frame(0)
-		for !fw.TransitionDone(e + 1) {
-			SampleInto(coord, next)
-		}
-		transTime += time.Since(ts)
-		fw.AggregateEpoch(e, S)
-		epochs++
-		cs := time.Now()
-		stop := cal.HaveToStop(S.C, S.Tau)
-		checkTime += time.Since(cs)
-		if cfg.OnEpoch != nil {
-			cfg.OnEpoch(epochs, S.Tau)
-		}
-		e++
-		if stop {
-			done.Store(true)
-			break
-		}
-	}
-	wg.Wait()
-	samplingTime := time.Since(samplingStart)
-
-	bt := make([]float64, n)
-	for v, c := range S.C {
-		bt[v] = float64(c) / float64(S.Tau)
-	}
-	return &Result{
-		Betweenness:    bt,
-		Tau:            S.Tau,
-		Omega:          omega,
-		VertexDiameter: vd,
-		Epochs:         epochs,
-		Timings: Timings{
-			Diameter:    diamTime,
-			Calibration: calTime,
-			Sampling:    samplingTime,
-			Transition:  transTime,
-			Check:       checkTime,
-		},
-	}, nil
+	return st.Result(), nil
 }
 
 // SimpleParallel is the strawman parallelization the paper's §III-B warns
@@ -261,6 +137,8 @@ func SimpleParallel(ctx context.Context, g *graph.Graph, threads int, cfg Config
 		Omega:          omega,
 		VertexDiameter: vd,
 		Epochs:         epochs,
+		AchievedEps:    cal.AchievedEps(S.C, S.Tau),
+		Converged:      true,
 		Timings: Timings{
 			Diameter:    diamTime,
 			Calibration: calTime,

@@ -108,7 +108,9 @@ func SequentialTopK(ctx context.Context, g *graph.Graph, k int, cfg Config) (*To
 	if k < 1 || k >= g.NumNodes() {
 		return nil, fmt.Errorf("kadabra: k=%d out of range [1, %d)", k, g.NumNodes())
 	}
+	start := time.Now()
 	cfg = cfg.withDefaults()
+	b := cfg.NewBudget(start)
 	n := g.NumNodes()
 
 	vd, diamTime := resolveVertexDiameter(g, cfg)
@@ -133,10 +135,13 @@ func SequentialTopK(ctx context.Context, g *graph.Graph, k int, cfg Config) (*To
 
 	calStart := time.Now()
 	tau0 := int64(omega)/int64(cfg.StartFactor) + 1
-	for tau < tau0 {
-		if tau%int64(cfg.CheckInterval) == 0 {
+	for tau < tau0 && !(b.MaxSamples > 0 && tau >= b.MaxSamples) {
+		if tau%calCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			if b.Overdue() {
+				break
 			}
 		}
 		takeSample()
@@ -148,7 +153,7 @@ func SequentialTopK(ctx context.Context, g *graph.Graph, k int, cfg Config) (*To
 	lower := make([]float64, n)
 	upper := make([]float64, n)
 	checks := 0
-	var stop, separated bool
+	var stop, separated, budgeted bool
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -156,13 +161,30 @@ func SequentialTopK(ctx context.Context, g *graph.Graph, k int, cfg Config) (*To
 		stop, separated = cal.TopKHaveToStop(counts, tau, k, lower, upper)
 		checks++
 		if cfg.OnEpoch != nil {
-			cfg.OnEpoch(checks, tau)
+			p := Progress{Epoch: checks, Tau: tau, AchievedEps: intervalEps(counts, tau, lower, upper)}
+			if el := time.Since(calStart).Seconds(); el > 0 {
+				p.SamplesPerSec = float64(tau) / el
+			}
+			cfg.OnEpoch(p)
 		}
 		if stop {
 			break
 		}
-		for i := 0; i < cfg.CheckInterval && float64(tau) < omega; i++ {
+		if b.Exceeded(tau) {
+			budgeted = true
+			break
+		}
+		// The batch target honours the sample cap exactly, matching the
+		// uniform sequential engine's "stops at exactly MaxSamples".
+		batch := int64(cfg.CheckInterval)
+		if b.MaxSamples > 0 && b.MaxSamples-tau < batch {
+			batch = b.MaxSamples - tau
+		}
+		for i := int64(0); i < batch && float64(tau) < omega; i++ {
 			takeSample()
+			if tau%calCheckEvery == 0 && (b.Overdue() || ctx.Err() != nil) {
+				break
+			}
 		}
 	}
 	samplingTime := time.Since(samplingStart)
@@ -178,6 +200,8 @@ func SequentialTopK(ctx context.Context, g *graph.Graph, k int, cfg Config) (*To
 			Omega:          omega,
 			VertexDiameter: vd,
 			Epochs:         checks,
+			AchievedEps:    cal.AchievedEps(counts, tau),
+			Converged:      !budgeted,
 			Timings: Timings{
 				Diameter:    diamTime,
 				Calibration: calTime,
@@ -190,4 +214,29 @@ func SequentialTopK(ctx context.Context, g *graph.Graph, k int, cfg Config) (*To
 	}
 	res.Top = res.TopK(k)
 	return res, nil
+}
+
+// intervalEps is the anytime guarantee read off the top-k confidence
+// intervals: the largest one-sided deviation of any vertex's interval from
+// its point estimate (equal to max(f, g) per vertex, since the bounds were
+// built from them).
+func intervalEps(counts []int64, tau int64, lower, upper []float64) float64 {
+	if tau <= 0 {
+		return 1
+	}
+	ft := float64(tau)
+	worst := 0.0
+	for v, c := range counts {
+		bt := float64(c) / ft
+		if d := bt - lower[v]; d > worst {
+			worst = d
+		}
+		if d := upper[v] - bt; d > worst {
+			worst = d
+		}
+	}
+	if worst > 1 {
+		worst = 1
+	}
+	return worst
 }

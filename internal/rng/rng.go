@@ -12,7 +12,10 @@
 // per-thread streams, which math/rand.Source does not offer.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // SplitMix64 is a tiny 64-bit generator used to seed other generators and to
 // derive independent streams from a single master seed. Its state is a single
@@ -58,6 +61,24 @@ func NewRand(seed uint64) *Rand {
 // to give each worker thread its own stream from a master generator.
 func (r *Rand) Split() *Rand {
 	return NewRand(r.Uint64())
+}
+
+// State returns the generator's current internal state, for checkpointing a
+// stream mid-sequence. Restore it with FromState; the restored generator
+// continues the sequence exactly where this one stands.
+func (r *Rand) State() [4]uint64 {
+	return r.s
+}
+
+// FromState reconstructs a generator from a State() snapshot. It returns an
+// error on the all-zero state, which is not a valid xoshiro256++ state (and
+// which NewRand's seeding can never produce) — the one way a deserialized
+// snapshot can be structurally invalid.
+func FromState(s [4]uint64) (*Rand, error) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return nil, errors.New("rng: all-zero xoshiro256++ state")
+	}
+	return &Rand{s: s}, nil
 }
 
 func rotl(x uint64, k uint) uint64 {
