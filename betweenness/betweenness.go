@@ -77,6 +77,16 @@ type Snapshot struct {
 	// it is nil in WithProgress deliveries, which stay cheap enough to
 	// run every epoch.
 	Estimates []float64
+	// Live reports whether the snapshot observes current sampling state:
+	// true for every WithProgress delivery and for Estimator.Snapshot on
+	// the steppable backends (Sequential, SharedMemory), which own their
+	// state in-process. On the one-shot backends (MPI, TCP, custom
+	// executors, certified top-k) the state lives inside the backend for
+	// the duration of a Run, so between deliveries Snapshot returns the
+	// last completed Run's final state marked Live == false — never a
+	// fabricated zero mid-run. A false Live with Epoch == 0 means no run
+	// has completed yet.
+	Live bool
 }
 
 // fromProgress converts the internal progress observation.
@@ -86,6 +96,7 @@ func fromProgress(p kadabra.Progress) Snapshot {
 		Tau:           p.Tau,
 		AchievedEps:   p.AchievedEps,
 		SamplesPerSec: p.SamplesPerSec,
+		Live:          true,
 	}
 }
 

@@ -201,7 +201,7 @@ func (e *Estimator) runLocked(ctx context.Context) (*Result, error) {
 	e.res = res
 	// Derive the observation from the result just built — Result() already
 	// paid the O(n) achieved-eps sweep, no need for a second one.
-	e.storeLast(Snapshot{Epoch: res.Epochs, Tau: res.Tau, AchievedEps: res.AchievedEps})
+	e.storeLast(Snapshot{Epoch: res.Epochs, Tau: res.Tau, AchievedEps: res.AchievedEps, Live: true})
 	return res, nil
 }
 
@@ -219,6 +219,11 @@ func (e *Estimator) runOneShot(ctx context.Context) (*Result, error) {
 		return s.exec.Run(ctx, e.w, s.Params)
 	})
 	if err != nil {
+		// The backend discarded the run's state; whatever mid-run progress
+		// observation Snapshot was serving is no longer backed by anything.
+		e.snapMu.Lock()
+		e.last.Live = false
+		e.snapMu.Unlock()
 		return nil, err
 	}
 	e.res = res
@@ -226,6 +231,9 @@ func (e *Estimator) runOneShot(ctx context.Context) (*Result, error) {
 		// Cache phase 1 for any further Run on this session.
 		e.s.VertexDiameter = res.VertexDiameter
 	}
+	// A one-shot backend retains no state between calls: what Snapshot can
+	// report from here on is the completed run's final state, marked not
+	// live (see Snapshot.Live).
 	e.storeLast(Snapshot{
 		Epoch:       res.Epochs,
 		Tau:         res.Tau,
@@ -328,6 +336,14 @@ func (e *Estimator) refineGuard(ns settings) error {
 // returns the latest per-epoch observation without blocking — fresh to
 // within one epoch when a progress callback is registered, otherwise the
 // state as of the run's start.
+//
+// On the one-shot backends (MPI, TCP, custom executors, certified top-k)
+// the sampling state lives inside the backend for the duration of a Run,
+// so Snapshot reports the last completed Run's final state — marked
+// Live == false — rather than fabricating zeroes mid-run; before the first
+// Run completes it is the vacuous Snapshot{AchievedEps: 1, Live: false}.
+// Mid-run WithProgress deliveries are still observed live (Live == true)
+// while they stream.
 func (e *Estimator) Snapshot() Snapshot {
 	if e.mu.TryLock() {
 		defer e.mu.Unlock()
@@ -344,6 +360,9 @@ func (e *Estimator) Snapshot() Snapshot {
 				// Copied, like the steppable branch: snapshots are the
 				// caller's to mutate.
 				Estimates: append([]float64(nil), e.res.Estimates...),
+				// The run completed and the backend's state is gone: this
+				// is a faithful final observation, but not a live one.
+				Live: false,
 			}
 		}
 	}

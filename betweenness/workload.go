@@ -71,6 +71,8 @@ type Workload struct {
 	// undirected retains the graph on the one scenario with a certified
 	// top-k stopping rule (Sequential backend, WithTopK).
 	undirected *graph.Graph
+	// digest computes the graph's content hash on demand (see Digest).
+	digest func() string
 	// err records a construction failure (nil graph); surfaced by
 	// EstimateWorkload so constructors stay chainable.
 	err error
@@ -85,6 +87,20 @@ func (w Workload) NumNodes() int { return w.n }
 
 // Err returns the construction error, if any (e.g. a nil graph).
 func (w Workload) Err() error { return w.err }
+
+// Digest returns a stable content hash of the workload's graph
+// ("sha256:<hex>", domain-separated by kind): two workloads with equal
+// digests are the same estimation problem, which makes the digest a sound
+// cache key for results keyed additionally by the statistical parameters
+// (the betweennessd result cache does exactly that). The hash walks the
+// whole CSR, so callers should memoize it per graph rather than calling it
+// per request. It is "" for the zero or invalid workload.
+func (w Workload) Digest() string {
+	if w.digest == nil {
+		return ""
+	}
+	return w.digest()
+}
 
 // checkRunnable is the guard every backend applies on entry: the workload
 // must have been built by a constructor, over a non-degenerate graph, its
@@ -133,6 +149,7 @@ func Undirected(g *graph.Graph) Workload {
 		inner:      kadabra.UndirectedWorkload(g),
 		validate:   func() error { return nil },
 		undirected: g,
+		digest:     g.Digest,
 	}
 }
 
@@ -146,9 +163,10 @@ func Directed(g *graph.Digraph) Workload {
 		return Workload{kind: WorkloadDirected, err: fmt.Errorf("betweenness: nil digraph")}
 	}
 	return Workload{
-		kind:  WorkloadDirected,
-		n:     g.NumNodes(),
-		inner: kadabra.DirectedWorkload(g),
+		kind:   WorkloadDirected,
+		n:      g.NumNodes(),
+		inner:  kadabra.DirectedWorkload(g),
+		digest: g.Digest,
 		validate: func() error {
 			if _, sizes := graph.StronglyConnectedComponents(g); len(sizes) != 1 {
 				return fmt.Errorf(
@@ -170,9 +188,10 @@ func Weighted(g *graph.WGraph) Workload {
 		return Workload{kind: WorkloadWeighted, err: fmt.Errorf("betweenness: nil weighted graph")}
 	}
 	return Workload{
-		kind:  WorkloadWeighted,
-		n:     g.NumNodes(),
-		inner: kadabra.WeightedWorkload(g),
+		kind:   WorkloadWeighted,
+		n:      g.NumNodes(),
+		inner:  kadabra.WeightedWorkload(g),
+		digest: g.Digest,
 		validate: func() error {
 			if !graph.IsConnected(g.Unweighted()) {
 				return fmt.Errorf(

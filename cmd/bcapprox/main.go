@@ -28,7 +28,12 @@
 //	             weights in [1, -maxw] are assigned to the generated graph
 //
 // Input is either -graph FILE (text edge list or .bcsr binary) or a
-// generator spec via -gen, e.g.:
+// generator spec via -gen. The file format is sniffed: a weighted edge
+// list ("u v w") selects the weighted workload and an arc list written by
+// this repository (its "# directed graph" header) selects the directed
+// one, without needing the flags; explicit -directed/-weighted always win
+// (a headerless two-column file is ambiguous between edge list and arc
+// list, so direction needs the flag there). Examples:
 //
 //	-gen rmat:scale=16,ef=16  -gen hyp:n=100000,deg=30  -gen road:rows=300,cols=300
 //
@@ -126,6 +131,23 @@ func main() {
 		// the typed capability error, not an ad-hoc flag restriction.
 		fatal(fmt.Errorf("%w: no backend implements the directed-weighted workload (pick -directed or -weighted)",
 			betweenness.ErrUnsupportedWorkload))
+	}
+
+	// Format autodetection: a -graph file with no explicit workload flag
+	// picks its workload from the sniffed format, so arc lists and weighted
+	// edge lists work without -directed/-weighted. Explicit flags always
+	// win (including an explicit -directed=false).
+	if *graphPath != "" && !explicit["directed"] && !explicit["weighted"] {
+		switch format, err := graph.DetectFormatFile(*graphPath); {
+		case err != nil:
+			fatal(err)
+		case format == graph.FormatArcList:
+			*directed = true
+			fmt.Printf("detected %s input: running the directed workload\n", format)
+		case format == graph.FormatWeightedEdgeList:
+			*weighted = true
+			fmt.Printf("detected %s input: running the weighted workload\n", format)
+		}
 	}
 
 	strategy, err := betweenness.ParseAggStrategy(*agg)

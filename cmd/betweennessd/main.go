@@ -1,0 +1,85 @@
+// Command betweennessd serves betweenness estimation over HTTP: upload
+// graphs, create resumable estimation sessions against them, run and
+// refine those sessions asynchronously, and stream per-epoch progress.
+// See the repro/internal/server package for the API and its semantics.
+//
+// Usage:
+//
+//	betweennessd [-addr :8372] [-data DIR] [-max-runs N] [-cache-size N]
+//
+// With -data, state survives restarts: graphs and session metadata
+// persist as they are created, and a SIGTERM/SIGINT drain checkpoints
+// every resumable session (versioned BCSE envelopes) so the next start
+// resumes them with all accumulated samples intact.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	dataDir := flag.String("data", "", "persistence directory (empty: in-memory only, no checkpoints)")
+	maxRuns := flag.Int("max-runs", 2, "maximum concurrent estimator runs (admission control)")
+	cacheSize := flag.Int("cache-size", 128, "result cache capacity in entries (negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight runs on shutdown")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "betweennessd: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		DataDir:           *dataDir,
+		MaxConcurrentRuns: *maxRuns,
+		CacheSize:         *cacheSize,
+		Logf:              logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: first drain the estimation layer (cancel runs,
+	// checkpoint sessions), then close the HTTP listener. Ordering matters —
+	// draining first means late HTTP requests see clean 503s instead of
+	// racing the checkpointer.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		logger.Printf("received %v: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			logger.Printf("drain: %v", err)
+		}
+		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelShutdown()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	logger.Printf("listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	<-done
+}

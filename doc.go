@@ -72,7 +72,23 @@
 // (Refine/Checkpoint/repeated Run) on the Sequential and SharedMemory
 // backends; a sequential session interrupted via checkpoint and resumed in
 // a fresh process is bit-identical to the uninterrupted run. Elsewhere the
-// handle degrades honestly: Refine returns ErrNotRefinable and Checkpoint
-// ErrNotCheckpointable. Checkpoints are versioned and CRC-protected;
-// corrupted or version-skewed bytes error out instead of panicking.
+// handle degrades honestly: Refine returns the typed ErrNotRefinable,
+// Checkpoint the typed ErrNotCheckpointable (both errors.Is-able, each
+// naming the reason), and Snapshot reports the last completed Run's final
+// state with Snapshot.Live == false — the one-shot backends hold their
+// sampling state out of process during a Run, so mid-run polls get an
+// honest "not live" marker instead of fabricated zeroes. Checkpoints are
+// versioned and CRC-protected; corrupted or version-skewed bytes error out
+// instead of panicking.
+//
+// # Betweenness as a service
+//
+// cmd/betweennessd serves all of the above over HTTP: named graphs
+// (uploaded once, shared immutably across sessions, content-addressed via
+// Workload.Digest), named estimation sessions driven asynchronously with a
+// bounded worker pool as admission control, per-epoch progress over SSE, an
+// LRU result cache keyed by (graph digest, workload, eps, delta, seed), and
+// checkpoint-backed durability — SIGTERM drains running sessions into their
+// checkpoint files and a restart resumes them without losing samples. See
+// internal/server and the README's "Running as a service" section.
 package repro

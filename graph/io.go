@@ -6,6 +6,37 @@ import (
 	igraph "repro/internal/graph"
 )
 
+// Format names one of the graph interchange formats DetectFormat can
+// identify.
+type Format = igraph.Format
+
+// The detectable interchange formats. A headerless two-column text file
+// detects as FormatEdgeList even when the caller means it as an arc list —
+// the two are syntactically identical; FormatArcList is only reported when
+// the "# directed graph" header comment WriteArcList emits is present.
+const (
+	FormatUnknown          = igraph.FormatUnknown
+	FormatBCSR             = igraph.FormatBCSR
+	FormatEdgeList         = igraph.FormatEdgeList
+	FormatArcList          = igraph.FormatArcList
+	FormatWeightedEdgeList = igraph.FormatWeightedEdgeList
+)
+
+// ErrFormatUnknown reports that DetectFormat could not identify the input.
+var ErrFormatUnknown = igraph.ErrFormatUnknown
+
+// DetectFormat sniffs the graph format at the head of r without consuming
+// it: the returned reader replays the full stream, sniffed bytes included,
+// so it can be handed straight to the matching Read function. It
+// recognizes the BCSR magic, the header comments the Write functions emit,
+// and falls back to the field count of the first data line (3+ integer
+// fields = weighted edge list, 2 = edge list).
+func DetectFormat(r io.Reader) (Format, io.Reader, error) { return igraph.DetectFormat(r) }
+
+// DetectFormatFile sniffs the format of the file at path by content, with
+// the ".bcsr" extension as a tie-breaker for empty files.
+func DetectFormatFile(path string) (Format, error) { return igraph.DetectFormatFile(path) }
+
 // LoadFile reads a graph from path: a text edge list, or the compact BCSR
 // binary format when the name ends in ".bcsr".
 func LoadFile(path string) (*Graph, error) { return igraph.LoadFile(path) }

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Format identification for the interchange formats this package reads.
+// The binary BCSR snapshot announces itself with a magic number; the three
+// text formats are sniffed from the writers' header comments when present
+// and from the field count of the first data line otherwise. An edge list
+// and an arc list are syntactically identical ("u v" per line), so a
+// headerless two-column file detects as FormatEdgeList — callers that care
+// about direction (bcapprox -directed, the server's workload kinds) treat
+// that as "two-column text" and impose the interpretation themselves.
+
+// Format names one of the graph interchange formats.
+type Format int
+
+const (
+	// FormatUnknown reports that no format could be determined.
+	FormatUnknown Format = iota
+	// FormatBCSR is the binary CSR snapshot (undirected).
+	FormatBCSR
+	// FormatEdgeList is the undirected "u v" text format (also matches a
+	// headerless arc list — the two are syntactically identical).
+	FormatEdgeList
+	// FormatArcList is the directed "u v" text format, detected only via
+	// the "# directed graph" header comment WriteArcList emits.
+	FormatArcList
+	// FormatWeightedEdgeList is the "u v weight" text format.
+	FormatWeightedEdgeList
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatBCSR:
+		return "bcsr"
+	case FormatEdgeList:
+		return "edge-list"
+	case FormatArcList:
+		return "arc-list"
+	case FormatWeightedEdgeList:
+		return "weighted-edge-list"
+	default:
+		return "unknown"
+	}
+}
+
+// detectPeek bounds how far the sniffer looks: enough for a generous run
+// of comment lines before the first data line.
+const detectPeek = 64 * 1024
+
+// DetectFormat sniffs the graph format at the head of r without consuming
+// it: the returned reader replays the full stream, sniffed bytes included,
+// so it can be handed straight to the matching Read function. Detection
+// rules, in order:
+//
+//   - the BCSR magic number -> FormatBCSR
+//   - a writer header comment ("# directed graph", "# weighted undirected
+//     graph", "# undirected graph") -> the corresponding text format
+//   - the first non-comment line: 3+ fields where the third parses as a
+//     number -> FormatWeightedEdgeList, 2 fields -> FormatEdgeList
+//
+// An empty or indecipherable head returns FormatUnknown with a nil error;
+// only a read failure returns an error.
+func DetectFormat(r io.Reader) (Format, io.Reader, error) {
+	br := bufio.NewReaderSize(r, detectPeek)
+	head, err := br.Peek(detectPeek)
+	if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+		return FormatUnknown, br, err
+	}
+	return sniff(head), br, nil
+}
+
+// DetectFormatFile sniffs the format of the file at path, preferring the
+// content over the extension (a ".bcsr" suffix is only a tie-breaker for
+// an empty file).
+func DetectFormatFile(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FormatUnknown, err
+	}
+	defer f.Close()
+	format, _, err := DetectFormat(f)
+	if err != nil {
+		return FormatUnknown, err
+	}
+	if format == FormatUnknown && strings.HasSuffix(path, ".bcsr") {
+		return FormatBCSR, nil
+	}
+	return format, nil
+}
+
+// sniff applies the detection rules to the peeked head bytes.
+func sniff(head []byte) Format {
+	if len(head) >= 8 && binary.LittleEndian.Uint64(head[:8]) == bcsrMagic {
+		return FormatBCSR
+	}
+	// Walk the head line by line; the last line may be truncated by the
+	// peek window, so only use it if it is comment-terminated or we have
+	// seen a decisive earlier line.
+	for len(head) > 0 {
+		line := head
+		if i := bytes.IndexByte(head, '\n'); i >= 0 {
+			line, head = head[:i], head[i+1:]
+		} else {
+			head = nil
+		}
+		text := strings.TrimSpace(string(line))
+		if text == "" {
+			continue
+		}
+		if text[0] == '#' || text[0] == '%' {
+			switch {
+			case strings.Contains(text, "directed graph") && !strings.Contains(text, "undirected"):
+				return FormatArcList
+			case strings.Contains(text, "weighted undirected graph"):
+				return FormatWeightedEdgeList
+			case strings.Contains(text, "undirected graph"):
+				return FormatEdgeList
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case len(fields) >= 3 && isUint(fields[0]) && isUint(fields[1]) && isNumber(fields[2]):
+			return FormatWeightedEdgeList
+		case len(fields) == 2 && isUint(fields[0]) && isUint(fields[1]):
+			return FormatEdgeList
+		default:
+			return FormatUnknown
+		}
+	}
+	return FormatUnknown
+}
+
+// isNumber accepts the weight column: any valid float, integer included.
+func isNumber(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrFormatUnknown reports that DetectFormat could not identify the input;
+// returned (wrapped) by the auto-loading helpers.
+var ErrFormatUnknown = fmt.Errorf("graph: unrecognized graph format")

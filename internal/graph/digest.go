@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Content digests over the canonical CSR representation. Because the
+// builders deduplicate, sort neighbour lists, and drop self loops, two
+// structurally identical graphs hash identically no matter what order
+// their edges arrived in — which is what makes the digest usable as a
+// cache key across uploads (the server's result cache is keyed by it).
+//
+// The digest covers the structure only, domain-separated per type, so an
+// undirected graph and the digraph with the same adjacency never collide.
+
+func digestStart(kind string) hash.Hash {
+	h := sha256.New()
+	h.Write([]byte("repro/graph:" + kind + ":v1\n"))
+	return h
+}
+
+func digestOffsets(h hash.Hash, offsets []uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(offsets)))
+	h.Write(buf[:])
+	for _, o := range offsets {
+		binary.LittleEndian.PutUint64(buf[:], o)
+		h.Write(buf[:])
+	}
+}
+
+func digestNodes(h hash.Hash, adj []Node) {
+	var buf [4]byte
+	for _, v := range adj {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		h.Write(buf[:])
+	}
+}
+
+func digestSum(h hash.Hash) string {
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Digest returns a stable content hash of the graph's CSR structure,
+// "sha256:<hex>". Equal digests mean structurally identical graphs.
+func (g *Graph) Digest() string {
+	h := digestStart("undirected")
+	digestOffsets(h, g.Offsets)
+	digestNodes(h, g.Adj)
+	return digestSum(h)
+}
+
+// Digest returns a stable content hash of the digraph's CSR structure.
+// Only the out-direction is hashed: the in-CSR is derived from it.
+func (g *Digraph) Digest() string {
+	h := digestStart("directed")
+	digestOffsets(h, g.OutOffsets)
+	digestNodes(h, g.OutAdj)
+	return digestSum(h)
+}
+
+// Digest returns a stable content hash of the weighted graph's CSR
+// structure, weights included.
+func (g *WGraph) Digest() string {
+	h := digestStart("weighted")
+	digestOffsets(h, g.Offsets)
+	digestNodes(h, g.Adj)
+	var buf [4]byte
+	for _, w := range g.W {
+		binary.LittleEndian.PutUint32(buf[:], w)
+		h.Write(buf[:])
+	}
+	return digestSum(h)
+}

@@ -1,0 +1,518 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/betweenness"
+)
+
+// The HTTP surface. All responses are JSON except the SSE stream; errors
+// are {"error": "..."} with a meaningful status code (400 bad input, 404
+// unknown object, 409 state conflicts — busy sessions, referenced graphs,
+// non-refinable backends — and 503 while draining).
+
+func (srv *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", srv.handleHealth)
+	mux.HandleFunc("GET /stats", srv.handleStats)
+
+	mux.HandleFunc("POST /graphs", srv.handleGraphUpload)
+	mux.HandleFunc("GET /graphs", srv.handleGraphList)
+	mux.HandleFunc("GET /graphs/{name}", srv.handleGraphGet)
+	mux.HandleFunc("DELETE /graphs/{name}", srv.handleGraphDelete)
+
+	mux.HandleFunc("POST /sessions", srv.handleSessionCreate)
+	mux.HandleFunc("GET /sessions", srv.handleSessionList)
+	mux.HandleFunc("GET /sessions/{id}", srv.handleSessionGet)
+	mux.HandleFunc("DELETE /sessions/{id}", srv.handleSessionDelete)
+	mux.HandleFunc("POST /sessions/{id}/run", srv.handleSessionRun)
+	mux.HandleFunc("POST /sessions/{id}/refine", srv.handleSessionRefine)
+	mux.HandleFunc("GET /sessions/{id}/result", srv.handleSessionResult)
+	mux.HandleFunc("GET /sessions/{id}/events", srv.handleSessionEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	srv.mu.Lock()
+	nGraphs, nSessions, draining := len(srv.graphs), len(srv.sessions), srv.draining
+	srv.mu.Unlock()
+	entries, hits, misses := srv.cache.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graphs":      nGraphs,
+		"sessions":    nSessions,
+		"draining":    draining,
+		"active_runs": len(srv.slots),
+		"run_slots":   cap(srv.slots),
+		"cache": map[string]any{
+			"entries": entries,
+			"hits":    hits,
+			"misses":  misses,
+		},
+	})
+}
+
+// graphJSON is the wire shape of a registered graph.
+func graphJSON(g *graphEntry, refs int) map[string]any {
+	return map[string]any{
+		"name":    g.name,
+		"kind":    kindString(g.kind),
+		"digest":  g.digest,
+		"nodes":   g.nodes,
+		"edges":   g.edges,
+		"reduced": g.reduced,
+		"refs":    refs,
+	}
+}
+
+// handleGraphUpload registers a graph: the body is the graph bytes in any
+// detectable format (?kind= overrides for headerless arc lists), reduced
+// to the largest (strongly) connected component and content-addressed.
+// Re-uploading an identical graph under the same name is idempotent (200);
+// a name collision with different content is a 409.
+func (srv *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
+	srv.mu.Lock()
+	draining := srv.draining
+	srv.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, srv.cfg.MaxUploadBytes)
+	g, err := buildGraphEntry(r.URL.Query().Get("name"), body, r.URL.Query().Get("kind"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	srv.mu.Lock()
+	if existing, ok := srv.graphs[g.name]; ok {
+		refs := existing.refs
+		same := existing.digest == g.digest && existing.kind == g.kind
+		srv.mu.Unlock()
+		if same {
+			writeJSON(w, http.StatusOK, graphJSON(existing, refs))
+			return
+		}
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("graph %q already registered with different content (digest %s)", g.name, existing.digest))
+		return
+	}
+	srv.graphs[g.name] = g
+	srv.mu.Unlock()
+
+	if err := srv.persistGraph(g); err != nil {
+		srv.mu.Lock()
+		delete(srv.graphs, g.name)
+		srv.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting graph: %w", err))
+		return
+	}
+	srv.cfg.Logf("registered graph %q: %s, %d nodes, %d edges", g.name, kindString(g.kind), g.nodes, g.edges)
+	writeJSON(w, http.StatusCreated, graphJSON(g, 0))
+}
+
+func (srv *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	srv.mu.Lock()
+	out := make([]map[string]any, 0, len(srv.graphs))
+	for _, g := range srv.graphs {
+		out = append(out, graphJSON(g, g.refs))
+	}
+	srv.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (srv *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	srv.mu.Lock()
+	g, ok := srv.graphs[r.PathValue("name")]
+	var refs int
+	if ok {
+		refs = g.refs
+	}
+	srv.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, graphJSON(g, refs))
+}
+
+func (srv *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	srv.mu.Lock()
+	g, ok := srv.graphs[name]
+	if !ok {
+		srv.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", name))
+		return
+	}
+	if g.refs > 0 {
+		refs := g.refs
+		srv.mu.Unlock()
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("graph %q is referenced by %d live session(s); delete them first", name, refs))
+		return
+	}
+	delete(srv.graphs, name)
+	srv.mu.Unlock()
+	srv.dropGraphFiles(name)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// sessionJSON renders a session's full status, including the current
+// snapshot (live mid-run to within one epoch — the progress hook keeps it
+// fresh; see Snapshot.Live for the one-shot degradation).
+func (srv *Server) sessionJSON(s *session) map[string]any {
+	snap := s.est.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]any{
+		"id":        s.id,
+		"graph":     s.g.name,
+		"workload":  kindString(s.g.kind),
+		"backend":   s.params.Backend,
+		"eps":       s.params.Eps,
+		"delta":     s.params.Delta,
+		"seed":      s.params.Seed,
+		"state":     s.state,
+		"converged": s.converged,
+		"cached":    s.cached,
+		"snapshot":  snapshotJSON(snapWithoutEstimates(snap)),
+	}
+	if s.params.TopK > 0 {
+		out["top_k"] = s.params.TopK
+	}
+	if s.runErr != "" {
+		out["error"] = s.runErr
+	}
+	if s.interrupted {
+		out["interrupted"] = true
+	}
+	return out
+}
+
+func snapWithoutEstimates(snap betweenness.Snapshot) betweenness.Snapshot {
+	snap.Estimates = nil
+	return snap
+}
+
+// handleSessionCreate builds a session over a registered graph. The body
+// is a sessionParams JSON object; the response echoes the session status.
+func (srv *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var p sessionParams
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session body: %w", err))
+		return
+	}
+	if err := p.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	g, ok := srv.graphs[p.Graph]
+	if !ok {
+		srv.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q (upload it first)", p.Graph))
+		return
+	}
+	id := srv.allocSessionIDLocked()
+	srv.mu.Unlock()
+
+	// Estimator construction validates options and runs the diameter
+	// phase on steppable backends; do it outside srv.mu.
+	s, err := srv.buildSession(id, g, p, "")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	srv.mu.Lock()
+	srv.sessions[id] = s
+	g.refs++
+	srv.mu.Unlock()
+
+	if err := srv.persistSessionMeta(s, false); err != nil {
+		srv.cfg.Logf("warning: persisting session %s meta: %v", id, err)
+	}
+	srv.cfg.Logf("created session %s on graph %q (%s, eps=%g)", id, g.name, p.Backend, p.Eps)
+	writeJSON(w, http.StatusCreated, srv.sessionJSON(s))
+}
+
+func (srv *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	srv.mu.Lock()
+	sessions := make([]*session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	out := make([]map[string]any, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, srv.sessionJSON(s))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookupSession resolves {id} or writes a 404.
+func (srv *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	srv.mu.Lock()
+	s, ok := srv.sessions[id]
+	srv.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return nil, false
+	}
+	return s, true
+}
+
+func (srv *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, srv.sessionJSON(s))
+}
+
+func (srv *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	srv.mu.Lock()
+	s, ok := srv.sessions[id]
+	if ok {
+		delete(srv.sessions, id)
+		s.g.refs--
+	}
+	srv.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	// Cancel a run in flight; the goroutine finishes against its own
+	// session object and the files go away regardless.
+	s.cancel()
+	srv.dropSessionFiles(id)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleSessionRun starts an asynchronous Run: 202 on acceptance, 409 when
+// an operation is already queued or running, 503 while draining. A cache
+// hit completes the session without consuming a worker slot.
+func (srv *Server) handleSessionRun(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	if err := s.start(opRun, refineSpec{}); err != nil {
+		writeError(w, statusForStartError(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": s.id, "state": stateQueued})
+}
+
+// refineBody is the JSON body of POST /sessions/{id}/refine: the
+// statistical retargets Estimator.Refine accepts.
+type refineBody struct {
+	Eps         float64 `json:"eps,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	TopK        int     `json:"top_k,omitempty"`
+	MaxSamples  int64   `json:"max_samples,omitempty"`
+	MaxDuration string  `json:"max_duration,omitempty"`
+}
+
+// handleSessionRefine starts an asynchronous Refine toward tighter
+// targets, reusing every accumulated sample. One-shot backends yield a
+// 409 with the typed ErrNotRefinable text when the refine executes.
+func (srv *Server) handleSessionRefine(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var body refineBody
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad refine body: %w", err))
+		return
+	}
+	var opts []betweenness.Option
+	if body.Eps > 0 {
+		opts = append(opts, betweenness.WithEpsilon(body.Eps))
+	}
+	if body.Delta > 0 {
+		opts = append(opts, betweenness.WithDelta(body.Delta))
+	}
+	if body.TopK > 0 {
+		opts = append(opts, betweenness.WithTopK(body.TopK))
+	}
+	if body.MaxSamples > 0 {
+		opts = append(opts, betweenness.WithMaxSamples(body.MaxSamples))
+	}
+	if body.MaxDuration != "" {
+		d, err := time.ParseDuration(body.MaxDuration)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad max_duration %q", body.MaxDuration))
+			return
+		}
+		opts = append(opts, betweenness.WithMaxDuration(d))
+	}
+	if len(opts) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("refine body names no targets (eps, delta, top_k, max_samples, max_duration)"))
+		return
+	}
+	// Fail fast on one-shot backends instead of queuing a doomed op.
+	if !s.est.Checkpointable() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("%w (backend %q)", betweenness.ErrNotRefinable, s.paramsBackend()))
+		return
+	}
+	spec := refineSpec{opts: opts, apply: func(p *sessionParams) {
+		if body.Eps > 0 {
+			p.Eps = body.Eps
+		}
+		if body.Delta > 0 {
+			p.Delta = body.Delta
+		}
+		if body.TopK > 0 {
+			p.TopK = body.TopK
+		}
+		if body.MaxSamples > 0 {
+			p.MaxSamples = body.MaxSamples
+		}
+		if body.MaxDuration != "" {
+			p.MaxDuration = body.MaxDuration
+		}
+	}}
+	if err := s.start(opRefine, spec); err != nil {
+		writeError(w, statusForStartError(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": s.id, "state": stateQueued})
+}
+
+func (s *session) paramsBackend() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.params.Backend
+}
+
+// handleSessionResult returns the estimates of the last completed
+// operation: top-k (?k=, default 10) always, the full per-vertex vector
+// with ?estimates=1. 409 until a result exists.
+func (srv *Server) handleSessionResult(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	res := s.result
+	cached := s.cached
+	s.mu.Unlock()
+	if res == nil || res.Estimates == nil {
+		writeError(w, http.StatusConflict, errors.New("no result yet: run the session first"))
+		return
+	}
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		var err error
+		if k, err = strconv.Atoi(q); err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", q))
+			return
+		}
+	}
+	if k > len(res.Estimates) {
+		k = len(res.Estimates)
+	}
+	top := make([]map[string]any, 0, k)
+	for _, v := range res.TopK(k) {
+		top = append(top, map[string]any{"vertex": v, "betweenness": res.Estimates[v]})
+	}
+	out := map[string]any{
+		"backend":         res.Backend,
+		"tau":             res.Tau,
+		"converged":       res.Converged,
+		"achieved_eps":    res.AchievedEps,
+		"vertex_diameter": res.VertexDiameter,
+		"cached":          cached,
+		"top":             top,
+	}
+	if r.URL.Query().Get("estimates") != "" {
+		out["estimates"] = res.Estimates
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionEvents streams the session's progress as SSE: one
+// "progress" event per epoch from the estimator's Progress hook, plus
+// "state", "result", "interrupted", and "error" transitions. The stream
+// opens with the current status so a late subscriber is never blind.
+func (srv *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := s.subscribe()
+	defer cancel()
+
+	// Opening status frame.
+	status, _ := json.Marshal(srv.sessionJSON(s))
+	fmt.Fprintf(w, "event: status\ndata: %s\n\n", status)
+	flusher.Flush()
+
+	for {
+		select {
+		case frame := <-ch:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-srv.runCtx.Done():
+			// Draining: close the stream so clients reconnect after restart.
+			return
+		}
+	}
+}
+
+// statusForStartError maps session-start failures to status codes.
+func statusForStartError(err error) int {
+	switch {
+	case errors.Is(err, errBusy):
+		return http.StatusConflict
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

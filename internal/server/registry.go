@@ -1,0 +1,152 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/betweenness"
+	"repro/graph"
+)
+
+// graphEntry is one named, immutable graph shared by any number of
+// sessions. Exactly one of und/dig/wgt is set, matching kind. The refs
+// counter protects the graph from deletion under a live session: sessions
+// take a reference at creation and release it at deletion, and
+// DELETE /graphs/{name} refuses while refs > 0. The CSR itself needs no
+// locking — it is immutable, which is the same property that lets sampler
+// goroutines share it without synchronization.
+type graphEntry struct {
+	name   string
+	kind   betweenness.WorkloadKind
+	digest string
+	nodes  int
+	edges  int
+	// reduced reports whether registration shrank the upload to its
+	// largest (strongly) connected component.
+	reduced bool
+	refs    int
+
+	und *graph.Graph
+	dig *graph.Digraph
+	wgt *graph.WGraph
+}
+
+// workload builds the tagged workload for this graph. Construction is
+// cheap (the digest closure is lazy; validation runs per estimate call).
+func (g *graphEntry) workload() betweenness.Workload {
+	switch g.kind {
+	case betweenness.WorkloadDirected:
+		return betweenness.Directed(g.dig)
+	case betweenness.WorkloadWeighted:
+		return betweenness.Weighted(g.wgt)
+	default:
+		return betweenness.Undirected(g.und)
+	}
+}
+
+// parseKind resolves the ?kind= upload parameter.
+func parseKind(s string) (betweenness.WorkloadKind, error) {
+	switch s {
+	case "undirected":
+		return betweenness.WorkloadUndirected, nil
+	case "directed":
+		return betweenness.WorkloadDirected, nil
+	case "weighted":
+		return betweenness.WorkloadWeighted, nil
+	default:
+		return 0, fmt.Errorf("unknown workload kind %q (want undirected|directed|weighted)", s)
+	}
+}
+
+// buildGraphEntry parses an upload stream into a registered-graph entry:
+// sniff the format, honour an explicit kind override, parse with the
+// matching reader, and reduce to the largest (strongly) connected
+// component so every session's workload validation rule holds by
+// construction — the same normalization bcapprox applies.
+//
+// kindGiven distinguishes "no ?kind=" (format decides) from an explicit
+// override: a two-column text upload is ambiguous between edge list and
+// arc list, so ?kind=directed is how a headerless arc list is registered.
+func buildGraphEntry(name string, r io.Reader, kindStr string) (*graphEntry, error) {
+	format, r, err := graph.DetectFormat(r)
+	if err != nil {
+		return nil, fmt.Errorf("sniffing upload: %w", err)
+	}
+
+	kind := betweenness.WorkloadUndirected
+	switch format {
+	case graph.FormatArcList:
+		kind = betweenness.WorkloadDirected
+	case graph.FormatWeightedEdgeList:
+		kind = betweenness.WorkloadWeighted
+	case graph.FormatUnknown:
+		if kindStr == "" {
+			return nil, fmt.Errorf("%w (pass ?kind= and a recognizable body)", graph.ErrFormatUnknown)
+		}
+	}
+	if kindStr != "" {
+		override, err := parseKind(kindStr)
+		if err != nil {
+			return nil, err
+		}
+		if format == graph.FormatBCSR && override != betweenness.WorkloadUndirected {
+			return nil, fmt.Errorf("BCSR uploads are undirected; cannot register as %s", override)
+		}
+		if format == graph.FormatWeightedEdgeList && override == betweenness.WorkloadDirected {
+			return nil, fmt.Errorf("a weighted edge list cannot be registered as directed")
+		}
+		kind = override
+	}
+
+	e := &graphEntry{name: name, kind: kind}
+	switch kind {
+	case betweenness.WorkloadDirected:
+		g, err := graph.ReadArcList(r)
+		if err != nil {
+			return nil, err
+		}
+		scc, _, err := graph.LargestSCC(g)
+		if err != nil {
+			return nil, err
+		}
+		e.reduced = scc.NumNodes() != g.NumNodes()
+		e.dig, e.nodes, e.edges, e.digest = scc, scc.NumNodes(), scc.NumArcs(), scc.Digest()
+	case betweenness.WorkloadWeighted:
+		g, err := graph.ReadWeightedEdgeList(r)
+		if err != nil {
+			return nil, err
+		}
+		lcc, _, err := graph.LargestComponentW(g)
+		if err != nil {
+			return nil, err
+		}
+		e.reduced = lcc.NumNodes() != g.NumNodes()
+		e.wgt, e.nodes, e.edges, e.digest = lcc, lcc.NumNodes(), lcc.NumEdges(), lcc.Digest()
+	default:
+		var g *graph.Graph
+		if format == graph.FormatBCSR {
+			g, err = graph.ReadBinary(r)
+		} else {
+			g, err = graph.ReadEdgeList(r)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lcc, _, err := graph.LargestComponent(g)
+		if err != nil {
+			return nil, err
+		}
+		e.reduced = lcc.NumNodes() != g.NumNodes()
+		e.und, e.nodes, e.edges, e.digest = lcc, lcc.NumNodes(), lcc.NumEdges(), lcc.Digest()
+	}
+	if e.name == "" {
+		// Content-addressed default: stable across re-uploads of the same
+		// graph, which makes idempotent registration natural.
+		e.name = "g-" + strings.TrimPrefix(e.digest, "sha256:")[:12]
+	}
+	return e, nil
+}
+
+// kindString is the wire spelling of a workload kind (matches parseKind).
+func kindString(k betweenness.WorkloadKind) string { return k.String() }

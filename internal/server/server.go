@@ -1,0 +1,222 @@
+// Package server implements betweennessd, the betweenness-as-a-service
+// daemon: an HTTP/JSON front end over the resumable estimation sessions of
+// repro/betweenness.
+//
+// The service owns two kinds of named objects. Graphs are uploaded once
+// (format sniffed via graph.DetectFormat, reduced to the largest
+// (strongly) connected component, content-addressed by CSR digest) and
+// shared immutably across sessions, with reference counting so a graph
+// cannot be deleted under a live session. Sessions wrap a
+// betweenness.Estimator: POST /sessions/{id}/run and /refine execute
+// asynchronously — serialized per session, admitted through a bounded
+// worker pool — while GET /sessions/{id} returns a live Snapshot (eps',
+// tau, samples/s) at any time and GET /sessions/{id}/events streams
+// per-epoch progress over SSE.
+//
+// Production concerns are first-class: an LRU result cache keyed by
+// (graph digest, workload, eps, delta, seed, backend) makes repeated
+// identical queries free; Drain — wired to SIGTERM in cmd/betweennessd —
+// cancels in-flight runs (the estimator keeps their samples), checkpoints
+// every resumable session through the versioned BCSE format, and a
+// restarted daemon rehydrates graphs and sessions from the data directory,
+// resuming exactly where it stopped.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/betweenness"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir is the persistence root (graphs, session metadata,
+	// checkpoints). Empty runs the server fully in memory: usable, but
+	// Drain cannot checkpoint and a restart starts empty.
+	DataDir string
+	// MaxConcurrentRuns bounds the number of estimator runs sampling at
+	// once — the admission-control knob. Queued operations wait for a
+	// slot. Default 2.
+	MaxConcurrentRuns int
+	// CacheSize is the result-cache capacity in entries. Default 128;
+	// negative disables caching.
+	CacheSize int
+	// MaxUploadBytes bounds one graph upload. Default 1 GiB.
+	MaxUploadBytes int64
+	// Logf, when set, receives one line per significant server event.
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon state: registries, worker pool, cache, and the
+// HTTP handler over them. Create with New, serve via Handler, stop via
+// Drain.
+type Server struct {
+	cfg Config
+
+	mu          sync.Mutex
+	graphs      map[string]*graphEntry
+	sessions    map[string]*session
+	nextSession int
+	draining    bool
+
+	// runCtx is the ancestor of every session's run context; Drain
+	// cancels it to stop all sampling within one epoch.
+	runCtx     context.Context
+	cancelRuns context.CancelFunc
+	// slots is the worker-pool semaphore (capacity MaxConcurrentRuns).
+	slots chan struct{}
+	// wg tracks in-flight run goroutines for Drain.
+	wg sync.WaitGroup
+
+	cache *resultCache
+	mux   *http.ServeMux
+}
+
+// New builds a Server and, when cfg.DataDir holds a previous instance's
+// state, rehydrates its graphs and sessions (checkpointed sessions resume
+// their exact sampling state).
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrentRuns <= 0 {
+		cfg.MaxConcurrentRuns = 2
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 1 << 30
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	srv := &Server{
+		cfg:         cfg,
+		graphs:      make(map[string]*graphEntry),
+		sessions:    make(map[string]*session),
+		nextSession: 1,
+		runCtx:      runCtx,
+		cancelRuns:  cancel,
+		slots:       make(chan struct{}, cfg.MaxConcurrentRuns),
+		cache:       newResultCache(cfg.CacheSize),
+	}
+	if cfg.DataDir != "" {
+		if err := srv.loadGraphs(); err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: rehydrating graphs: %w", err)
+		}
+		if err := srv.loadSessions(); err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: rehydrating sessions: %w", err)
+		}
+		if n := len(srv.sessions); n > 0 || len(srv.graphs) > 0 {
+			cfg.Logf("rehydrated %d graph(s), %d session(s) from %s", len(srv.graphs), n, cfg.DataDir)
+		}
+	}
+	srv.mux = srv.buildMux()
+	return srv, nil
+}
+
+// Handler returns the HTTP handler serving the daemon API.
+func (srv *Server) Handler() http.Handler { return srv.mux }
+
+// buildSession constructs (or restores, when ckptPath is non-empty) the
+// estimator behind a session. Callers register the returned session and
+// take the graph reference themselves.
+func (srv *Server) buildSession(id string, g *graphEntry, p sessionParams, ckptPath string) (*session, error) {
+	s := &session{id: id, srv: srv, g: g, params: p, state: stateIdle}
+	s.runCtx, s.cancel = context.WithCancel(srv.runCtx)
+	opts, err := p.options(s.progress)
+	if err != nil {
+		return nil, err
+	}
+	if ckptPath != "" {
+		est, err := restoreFromFile(ckptPath, g.workload(), opts)
+		if err != nil {
+			return nil, err
+		}
+		s.est = est
+		return s, nil
+	}
+	est, err := betweenness.NewEstimator(g.workload(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.est = est
+	return s, nil
+}
+
+// Drain performs the graceful-shutdown sequence: refuse new operations,
+// cancel every in-flight run (the estimators keep their accumulated
+// samples — that is the session contract), wait for the run goroutines,
+// then checkpoint every resumable session so a restarted daemon resumes
+// instead of resampling. It returns the first checkpointing error but
+// keeps going so one bad session cannot sink the others' state; ctx bounds
+// the wait for in-flight runs.
+func (srv *Server) Drain(ctx context.Context) error {
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		return nil
+	}
+	srv.draining = true
+	srv.mu.Unlock()
+	srv.cfg.Logf("draining: cancelling in-flight runs")
+	srv.cancelRuns()
+
+	done := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted waiting for runs: %w", ctx.Err())
+	}
+
+	srv.mu.Lock()
+	sessions := make([]*session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+
+	var firstErr error
+	saved := 0
+	for _, s := range sessions {
+		hasCkpt, err := srv.checkpointSession(s)
+		if err == nil {
+			err = srv.persistSessionMeta(s, hasCkpt)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: checkpointing session %s: %w", s.id, err)
+		}
+		if hasCkpt {
+			saved++
+		}
+	}
+	srv.cfg.Logf("drained: %d/%d session(s) checkpointed", saved, len(sessions))
+	return firstErr
+}
+
+// restoreFromFile opens a checkpoint and rebinds it to the workload.
+func restoreFromFile(path string, w betweenness.Workload, opts []betweenness.Option) (*betweenness.Estimator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return betweenness.RestoreEstimator(f, w, opts...)
+}
+
+// allocSessionID reserves the next generated session id. Callers hold
+// srv.mu.
+func (srv *Server) allocSessionIDLocked() string {
+	id := fmt.Sprintf("s%d", srv.nextSession)
+	srv.nextSession++
+	return id
+}

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/betweenness"
+)
+
+// Session states. A session is a state machine serialized by its own
+// mutex: at most one run or refine is queued or executing at a time, which
+// is also what the underlying Estimator's contract expects.
+const (
+	stateIdle    = "idle"    // no operation pending; Run/Refine accepted
+	stateQueued  = "queued"  // operation accepted, waiting for a worker slot
+	stateRunning = "running" // operation executing
+)
+
+// sessionParams is the statistical identity and budget of a session as its
+// creator requested it — the JSON body of POST /sessions and the persisted
+// session metadata are both this shape.
+type sessionParams struct {
+	Graph string  `json:"graph"`
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+	// Threads is the sampling thread count (shm backend; 0 = one per core).
+	Threads int `json:"threads,omitempty"`
+	// Backend is seq | shm | dist | alg1 (default seq: resumable and the
+	// fastest below the shared-memory epoch overhead on small graphs).
+	Backend string `json:"backend,omitempty"`
+	// Procs is the in-process rank count of the dist/alg1 backends.
+	Procs int `json:"procs,omitempty"`
+	TopK  int `json:"top_k,omitempty"`
+	// MaxSamples and MaxDuration are per-Run admission budgets.
+	MaxSamples  int64  `json:"max_samples,omitempty"`
+	MaxDuration string `json:"max_duration,omitempty"`
+}
+
+// normalize fills defaults and validates the parts the server owns (the
+// statistical ranges are validated again by the betweenness options).
+func (p *sessionParams) normalize() error {
+	if p.Eps == 0 {
+		p.Eps = 0.01
+	}
+	if p.Delta == 0 {
+		p.Delta = 0.1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Backend == "" {
+		p.Backend = "seq"
+	}
+	switch p.Backend {
+	case "seq", "shm":
+	case "dist", "alg1":
+		if p.Procs == 0 {
+			p.Procs = 2
+		}
+		if p.Procs < 1 {
+			return fmt.Errorf("procs must be >= 1, got %d", p.Procs)
+		}
+	default:
+		return fmt.Errorf("unknown backend %q (want seq|shm|dist|alg1; tcp worlds cannot live inside the daemon)", p.Backend)
+	}
+	if p.MaxDuration != "" {
+		if _, err := time.ParseDuration(p.MaxDuration); err != nil {
+			return fmt.Errorf("bad max_duration: %v", err)
+		}
+	}
+	return nil
+}
+
+// executor builds the backend the params name.
+func (p sessionParams) executor() betweenness.Executor {
+	switch p.Backend {
+	case "shm":
+		return betweenness.SharedMemory()
+	case "dist":
+		return betweenness.LocalMPI(p.Procs)
+	case "alg1":
+		return betweenness.PureMPI(p.Procs)
+	default:
+		return betweenness.Sequential()
+	}
+}
+
+// options maps the params onto betweenness options, progress hook
+// included. The progress hook is what keeps GET /sessions/{id} fresh to
+// within one epoch mid-run and feeds the SSE stream; its per-epoch O(n)
+// bound sweep is the cost of a live service.
+func (p sessionParams) options(progress func(betweenness.Snapshot)) ([]betweenness.Option, error) {
+	opts := []betweenness.Option{
+		betweenness.WithEpsilon(p.Eps),
+		betweenness.WithDelta(p.Delta),
+		betweenness.WithSeed(p.Seed),
+		betweenness.WithExecutor(p.executor()),
+		betweenness.WithProgress(progress),
+	}
+	if p.Threads > 0 {
+		opts = append(opts, betweenness.WithThreads(p.Threads))
+	}
+	if p.TopK > 0 {
+		opts = append(opts, betweenness.WithTopK(p.TopK))
+	}
+	if p.MaxSamples > 0 {
+		opts = append(opts, betweenness.WithMaxSamples(p.MaxSamples))
+	}
+	if p.MaxDuration != "" {
+		d, err := time.ParseDuration(p.MaxDuration)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, betweenness.WithMaxDuration(d))
+	}
+	return opts, nil
+}
+
+// session is one named estimation session: an Estimator plus the service
+// state around it — the op state machine, the result of the last completed
+// operation, and the SSE subscriber set.
+type session struct {
+	id  string
+	srv *Server
+	g   *graphEntry
+	est *betweenness.Estimator
+
+	// cancel aborts this session's in-flight operation (DELETE mid-run);
+	// runCtx is additionally cancelled server-wide by Drain.
+	runCtx context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	params    sessionParams
+	state     string
+	result    *betweenness.Result
+	runErr    string
+	cached    bool
+	converged bool
+	// interrupted reports the last operation was stopped by cancellation
+	// (drain or delete) with its samples retained.
+	interrupted bool
+	subs        map[chan []byte]struct{}
+}
+
+// refineSpec carries a validated refine request from the handler to the
+// run goroutine.
+type refineSpec struct {
+	opts []betweenness.Option
+	// apply mutates the session params after a successful refine, so the
+	// cache key and the persisted metadata track the session's current
+	// statistical identity.
+	apply func(*sessionParams)
+}
+
+type opKind int
+
+const (
+	opRun opKind = iota
+	opRefine
+)
+
+// cacheKey is the full statistical identity of this session's next Run:
+// sessions with equal keys produce bit-identical converged results.
+// Callers hold s.mu.
+func (s *session) cacheKeyLocked() string {
+	p := s.params
+	var b strings.Builder
+	b.WriteString(s.g.digest)
+	b.WriteByte('|')
+	b.WriteString(kindString(s.g.kind))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(p.Eps, 'x', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(p.Delta, 'x', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(p.Seed, 10))
+	b.WriteByte('|')
+	b.WriteString(p.Backend)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(p.Threads))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(p.Procs))
+	return b.String()
+}
+
+// start accepts a run or refine if the session is idle and the server is
+// not draining, and hands it to a goroutine. The per-session serialization
+// lives here: one queued-or-running operation at a time.
+func (s *session) start(kind opKind, spec refineSpec) error {
+	s.srv.mu.Lock()
+	draining := s.srv.draining
+	s.srv.mu.Unlock()
+	if draining {
+		return errDraining
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateIdle {
+		return errBusy
+	}
+	s.state = stateQueued
+	s.runErr = ""
+	s.interrupted = false
+	s.srv.wg.Add(1)
+	go s.execute(kind, spec)
+	s.broadcastLocked("state", map[string]string{"state": stateQueued})
+	return nil
+}
+
+// execute is the run goroutine: cache fast path, worker-slot admission,
+// the estimator call, then result/cache/state bookkeeping.
+func (s *session) execute(kind opKind, spec refineSpec) {
+	defer s.srv.wg.Done()
+
+	if kind == opRun {
+		s.mu.Lock()
+		key := s.cacheKeyLocked()
+		s.mu.Unlock()
+		if res, ok := s.srv.cache.get(key); ok {
+			s.finish(res, nil, true)
+			return
+		}
+	}
+
+	// Admission control: a bounded pool of worker slots caps concurrent
+	// sampling loops; everything else queues here (or gives up when the
+	// session is cancelled while waiting).
+	select {
+	case s.srv.slots <- struct{}{}:
+	case <-s.runCtx.Done():
+		s.finish(nil, s.runCtx.Err(), false)
+		return
+	}
+	defer func() { <-s.srv.slots }()
+
+	s.setState(stateRunning)
+
+	var res *betweenness.Result
+	var err error
+	switch kind {
+	case opRefine:
+		res, err = s.est.Refine(s.runCtx, spec.opts...)
+		if err == nil && spec.apply != nil {
+			s.mu.Lock()
+			spec.apply(&s.params)
+			s.mu.Unlock()
+		}
+	default:
+		res, err = s.est.Run(s.runCtx)
+	}
+	if err == nil && res != nil && res.Converged {
+		s.mu.Lock()
+		key := s.cacheKeyLocked()
+		s.mu.Unlock()
+		s.srv.cache.put(key, res)
+	}
+	s.finish(res, err, false)
+}
+
+// setState transitions the op state and notifies subscribers.
+func (s *session) setState(state string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = state
+	s.broadcastLocked("state", map[string]string{"state": state})
+}
+
+// finish records the outcome of an operation and returns the session to
+// idle. A cancellation is not a failure: the estimator's contract keeps
+// the state consistent and resumable, so the session simply reports
+// interrupted with its samples retained.
+func (s *session) finish(res *betweenness.Result, err error, fromCache bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = stateIdle
+	switch {
+	case err == nil:
+		s.result = res
+		s.cached = fromCache
+		s.converged = res != nil && res.Converged
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.interrupted = true
+	default:
+		s.runErr = err.Error()
+	}
+	s.broadcastLocked("state", map[string]string{"state": stateIdle})
+	switch {
+	case err == nil:
+		s.broadcastLocked("result", map[string]any{
+			"converged":    s.converged,
+			"cached":       fromCache,
+			"tau":          res.Tau,
+			"achieved_eps": res.AchievedEps,
+		})
+	case s.interrupted:
+		s.broadcastLocked("interrupted", map[string]string{"reason": err.Error()})
+	default:
+		s.broadcastLocked("error", map[string]string{"error": err.Error()})
+	}
+}
+
+// progress is the WithProgress hook: it fans each per-epoch snapshot out
+// to the SSE subscribers.
+func (s *session) progress(snap betweenness.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.broadcastLocked("progress", snapshotJSON(snap))
+}
+
+// subscribe registers an SSE subscriber; the returned cancel must be
+// called when the client goes away. Events are dropped, never blocked on:
+// a slow subscriber misses epochs, not the run.
+func (s *session) subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 32)
+	s.mu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[chan []byte]struct{})
+	}
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		delete(s.subs, ch)
+		s.mu.Unlock()
+	}
+}
+
+// broadcastLocked formats one SSE frame and offers it to every subscriber.
+// Callers hold s.mu.
+func (s *session) broadcastLocked(event string, data any) {
+	if len(s.subs) == 0 {
+		return
+	}
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return
+	}
+	frame := []byte("event: " + event + "\ndata: " + string(payload) + "\n\n")
+	for ch := range s.subs {
+		select {
+		case ch <- frame:
+		default: // slow subscriber: drop, never block the sampling loop
+		}
+	}
+}
+
+// snapshotJSON is the wire shape of a betweenness.Snapshot (estimates
+// elided — they go through the result endpoint).
+func snapshotJSON(snap betweenness.Snapshot) map[string]any {
+	return map[string]any{
+		"epoch":           snap.Epoch,
+		"tau":             snap.Tau,
+		"achieved_eps":    snap.AchievedEps,
+		"samples_per_sec": snap.SamplesPerSec,
+		"live":            snap.Live,
+	}
+}
+
+var (
+	errBusy     = errors.New("session already has an operation queued or running")
+	errDraining = errors.New("server is draining")
+)

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/betweenness"
+	"repro/graph"
+)
+
+// On-disk layout under Config.DataDir (everything written atomically via
+// tmp+rename, so a crash mid-write never leaves a torn file):
+//
+//	graphs/<name>.json     graph metadata (kind, digest, sizes)
+//	graphs/<name>.graph    canonical graph bytes (BCSR for undirected,
+//	                       arc list / weighted edge list for the others)
+//	sessions/<id>.json     session metadata (params + outcome flags)
+//	sessions/<id>.bck      estimator checkpoint (the versioned BCSE
+//	                       envelope from betweenness.Checkpoint)
+//
+// Graphs persist at registration; session metadata persists at creation
+// and refine; checkpoints are written by Drain (and only then — the
+// steady-state sampling path never pays for durability it wasn't asked
+// for).
+
+type graphMeta struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Digest  string `json:"digest"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Reduced bool   `json:"reduced"`
+}
+
+type sessionMeta struct {
+	ID     string        `json:"id"`
+	Params sessionParams `json:"params"`
+	// Converged/Cached describe the last completed operation, so a
+	// restarted daemon reports the same session status it went down with.
+	Converged bool `json:"converged"`
+	Cached    bool `json:"cached"`
+	// HasCheckpoint marks that a .bck file holds the estimator state.
+	HasCheckpoint bool `json:"has_checkpoint"`
+}
+
+func (srv *Server) graphsDir() string   { return filepath.Join(srv.cfg.DataDir, "graphs") }
+func (srv *Server) sessionsDir() string { return filepath.Join(srv.cfg.DataDir, "sessions") }
+
+// writeFileAtomic writes data to path via a temp file and rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, data)
+}
+
+// persistGraph writes the graph's canonical bytes and metadata. No-op
+// without a data dir.
+func (srv *Server) persistGraph(g *graphEntry) error {
+	if srv.cfg.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(srv.graphsDir(), 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(srv.graphsDir(), g.name+".graph")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	switch g.kind {
+	case betweenness.WorkloadDirected:
+		err = graph.WriteArcList(f, g.dig)
+	case betweenness.WorkloadWeighted:
+		err = graph.WriteWeightedEdgeList(f, g.wgt)
+	default:
+		err = graph.WriteBinary(f, g.und)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return writeJSONAtomic(filepath.Join(srv.graphsDir(), g.name+".json"), graphMeta{
+		Name:    g.name,
+		Kind:    kindString(g.kind),
+		Digest:  g.digest,
+		Nodes:   g.nodes,
+		Edges:   g.edges,
+		Reduced: g.reduced,
+	})
+}
+
+// dropGraphFiles removes a deleted graph's files (best effort).
+func (srv *Server) dropGraphFiles(name string) {
+	if srv.cfg.DataDir == "" {
+		return
+	}
+	os.Remove(filepath.Join(srv.graphsDir(), name+".graph"))
+	os.Remove(filepath.Join(srv.graphsDir(), name+".json"))
+}
+
+// persistSessionMeta writes the session's metadata file. Callers must not
+// hold s.mu. No-op without a data dir.
+func (srv *Server) persistSessionMeta(s *session, hasCkpt bool) error {
+	if srv.cfg.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(srv.sessionsDir(), 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	meta := sessionMeta{
+		ID:            s.id,
+		Params:        s.params,
+		Converged:     s.converged,
+		Cached:        s.cached,
+		HasCheckpoint: hasCkpt,
+	}
+	s.mu.Unlock()
+	return writeJSONAtomic(filepath.Join(srv.sessionsDir(), s.id+".json"), meta)
+}
+
+// checkpointSession writes the estimator state next to the metadata,
+// returning whether a checkpoint was produced (one-shot backends and
+// sample-less sessions produce none, by design).
+func (srv *Server) checkpointSession(s *session) (bool, error) {
+	if srv.cfg.DataDir == "" || !s.est.Checkpointable() {
+		return false, nil
+	}
+	if s.est.Snapshot().Tau == 0 {
+		return false, nil // nothing sampled yet; a fresh session is cheaper than a checkpoint
+	}
+	if err := os.MkdirAll(srv.sessionsDir(), 0o755); err != nil {
+		return false, err
+	}
+	path := filepath.Join(srv.sessionsDir(), s.id+".bck")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return false, err
+	}
+	if err := s.est.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return false, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return false, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return false, err
+	}
+	return true, nil
+}
+
+// dropSessionFiles removes a deleted session's files (best effort).
+func (srv *Server) dropSessionFiles(id string) {
+	if srv.cfg.DataDir == "" {
+		return
+	}
+	os.Remove(filepath.Join(srv.sessionsDir(), id+".json"))
+	os.Remove(filepath.Join(srv.sessionsDir(), id+".bck"))
+}
+
+// loadGraphs rehydrates the graph registry from the data dir.
+func (srv *Server) loadGraphs() error {
+	entries, err := os.ReadDir(srv.graphsDir())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, de := range entries {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srv.graphsDir(), de.Name()))
+		if err != nil {
+			return err
+		}
+		var meta graphMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return fmt.Errorf("graph meta %s: %w", de.Name(), err)
+		}
+		kind, err := parseKind(meta.Kind)
+		if err != nil {
+			return fmt.Errorf("graph meta %s: %w", de.Name(), err)
+		}
+		g := &graphEntry{
+			name:    meta.Name,
+			kind:    kind,
+			digest:  meta.Digest,
+			nodes:   meta.Nodes,
+			edges:   meta.Edges,
+			reduced: meta.Reduced,
+		}
+		path := filepath.Join(srv.graphsDir(), meta.Name+".graph")
+		switch kind {
+		case betweenness.WorkloadDirected:
+			g.dig, err = graph.LoadDigraphFile(path)
+		case betweenness.WorkloadWeighted:
+			g.wgt, err = graph.LoadWGraphFile(path)
+		default:
+			f, ferr := os.Open(path)
+			if ferr != nil {
+				err = ferr
+				break
+			}
+			g.und, err = graph.ReadBinary(f)
+			f.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("loading graph %s: %w", meta.Name, err)
+		}
+		srv.graphs[g.name] = g
+	}
+	return nil
+}
+
+// loadSessions rehydrates sessions: checkpointed ones resume their exact
+// sampling state via RestoreEstimator; the rest are recreated fresh (same
+// identity, zero samples).
+func (srv *Server) loadSessions() error {
+	entries, err := os.ReadDir(srv.sessionsDir())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	maxID := 0
+	for _, de := range entries {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srv.sessionsDir(), de.Name()))
+		if err != nil {
+			return err
+		}
+		var meta sessionMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return fmt.Errorf("session meta %s: %w", de.Name(), err)
+		}
+		g, ok := srv.graphs[meta.Params.Graph]
+		if !ok {
+			return fmt.Errorf("session %s references unknown graph %q", meta.ID, meta.Params.Graph)
+		}
+		s, err := srv.buildSession(meta.ID, g, meta.Params, srv.checkpointPathFor(meta))
+		if err != nil {
+			return fmt.Errorf("restoring session %s: %w", meta.ID, err)
+		}
+		s.converged = meta.Converged
+		s.cached = meta.Cached
+		srv.sessions[s.id] = s
+		g.refs++
+		if n, ok := sessionNumber(meta.ID); ok && n > maxID {
+			maxID = n
+		}
+	}
+	srv.nextSession = maxID + 1
+	return nil
+}
+
+// checkpointPathFor returns the checkpoint path to restore from, or ""
+// when the session restarts fresh.
+func (srv *Server) checkpointPathFor(meta sessionMeta) string {
+	if !meta.HasCheckpoint {
+		return ""
+	}
+	path := filepath.Join(srv.sessionsDir(), meta.ID+".bck")
+	if _, err := os.Stat(path); err != nil {
+		return ""
+	}
+	return path
+}
+
+// sessionNumber parses the numeric part of a generated "s<N>" id.
+func sessionNumber(id string) (int, bool) {
+	if len(id) < 2 || id[0] != 's' {
+		return 0, false
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}

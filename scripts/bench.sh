@@ -37,10 +37,25 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^BenchmarkEstimate$' -benchtime "$benchtime" \
     -count "$count" -timeout 30m . | tee "$raw"
 
+# The service tier: end-to-end session throughput and live status-poll
+# latency against an in-process betweennessd (internal/server).
+go test -run '^$' -bench '^BenchmarkServer' -benchtime "$benchtime" \
+    -count "$count" -timeout 30m ./internal/server/ | tee -a "$raw"
+
 # Convert the benchmark lines into a JSON array. A line looks like:
 #   BenchmarkEstimate/undirected/tcp-8  2  123456789 ns/op  54321 samples/s
-# i.e. name, iterations, then (value, unit) pairs.
+# i.e. name, iterations, then (value, unit) pairs. Estimate cells carry
+# workload/backend split out of the name; server cells carry tier=server.
 awk -v benchtime="$benchtime" '
+function metrics(line,    i, unit) {
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    return line "}"
+}
 BEGIN { print "[" ; n = 0 }
 /^BenchmarkEstimate\// {
     name = $1
@@ -48,15 +63,16 @@ BEGIN { print "[" ; n = 0 }
     split(name, parts, "/")
     line = sprintf("  {\"name\": \"%s\", \"workload\": \"%s\", \"backend\": \"%s\", \"benchtime\": \"%s\", \"iterations\": %s", \
                    name, parts[2], parts[3], benchtime, $2)
-    for (i = 3; i + 1 <= NF; i += 2) {
-        unit = $(i + 1)
-        gsub(/\//, "_per_", unit)
-        gsub(/[^A-Za-z0-9_]/, "_", unit)
-        line = line sprintf(", \"%s\": %s", unit, $i)
-    }
-    line = line "}"
     if (n++) print ","
-    printf "%s", line
+    printf "%s", metrics(line)
+}
+/^BenchmarkServer/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("  {\"name\": \"%s\", \"tier\": \"server\", \"benchtime\": \"%s\", \"iterations\": %s", \
+                   name, benchtime, $2)
+    if (n++) print ","
+    printf "%s", metrics(line)
 }
 END { print "\n]" }
 ' "$raw" > "$out"
