@@ -40,6 +40,18 @@
 // across process restarts (Sequential and SharedMemory backends).
 // EstimateWorkload itself is one NewEstimator plus one Run.
 //
+// The distributed backends are fault tolerant: a rank that dies mid-run
+// (closed connection, or a silent peer caught by the TCP transport's
+// heartbeat/liveness deadlines) is absorbed by a shrink-and-recalibrate
+// recovery round — the surviving ranks salvage the undelivered epoch
+// frames, shrink the world, and complete the run with the full
+// (eps, delta) guarantee; at most the dead rank's in-flight epoch is
+// lost. Result.Distributed reports the accounting (RanksStarted,
+// RanksLost, Recoveries). The one unabsorbable failure is the death of
+// rank 0, the coordinator; WithDistCheckpoint bounds its cost to one
+// checkpoint interval by shipping a periodic restartable checkpoint to
+// every rank.
+//
 // Exact ground truth (Brandes' algorithm) and accuracy reports are
 // available via Exact, ExactDirected, ExactWeighted, and Compare.
 package betweenness
@@ -145,6 +157,15 @@ type DistStats struct {
 	// frames this rank actually produced; with sparse frames it scales
 	// with what was sampled, not with the graph size.
 	ReduceWireBytes int64
+	// RanksStarted is the world size the adaptive loop began with, and
+	// RanksFinished the size it ended with: RanksLost ranks died mid-run
+	// and were absorbed by the shrink-and-recalibrate recovery protocol
+	// (their folded samples are kept; at most their in-flight epoch is
+	// lost). Recoveries counts the recovery rounds that committed.
+	RanksStarted, RanksFinished, RanksLost, Recoveries int
+	// Checkpoints is the number of periodic distributed checkpoints this
+	// rank received (see WithDistCheckpoint).
+	Checkpoints int
 }
 
 // Result is the unified output of every backend.
@@ -248,6 +269,11 @@ func fromCore(backend string, cr *core.Result) *Result {
 		CheckTime:          cr.Stats.CheckTime,
 		CommVolumePerEpoch: cr.Stats.CommVolumePerEpoch,
 		ReduceWireBytes:    cr.Stats.WireBytes,
+		RanksStarted:       cr.Stats.RanksStarted,
+		RanksFinished:      cr.Stats.RanksStarted - cr.Stats.RanksLost,
+		RanksLost:          cr.Stats.RanksLost,
+		Recoveries:         cr.Stats.Recoveries,
+		Checkpoints:        cr.Stats.Checkpoints,
 	}
 	return res
 }

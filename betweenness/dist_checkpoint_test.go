@@ -1,0 +1,92 @@
+package betweenness
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestWithDistCheckpointValidation(t *testing.T) {
+	s := defaultSettings()
+	if err := WithDistCheckpoint(0, func([]byte) {})(&s); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := WithDistCheckpoint(2, nil)(&s); err == nil {
+		t.Error("nil sink accepted")
+	}
+	if err := WithDistCheckpoint(2, func([]byte) {})(&s); err != nil {
+		t.Errorf("valid option rejected: %v", err)
+	}
+	if s.DistCheckpointInterval != 2 || s.DistCheckpoint == nil {
+		t.Error("option did not land in params")
+	}
+}
+
+// TestDistCheckpointRoundtrip drives the full periodic-checkpoint path on
+// the LocalMPI backend: every rank's sink receives the sealed payload, the
+// payload restores through the standard RestoreEstimator door, and the
+// resumed sequential session still converges to the guarantee.
+func TestDistCheckpointRoundtrip(t *testing.T) {
+	g := testGraph(t)
+	const procs = 2
+	eps := 0.005
+
+	var mu sync.Mutex
+	var payloads [][]byte
+	res, err := Estimate(context.Background(), g,
+		WithEpsilon(eps),
+		WithSeed(77),
+		WithExecutor(LocalMPI(procs)),
+		WithDistCheckpoint(1, func(p []byte) {
+			cp := append([]byte(nil), p...)
+			mu.Lock()
+			payloads = append(payloads, cp)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distributed == nil {
+		t.Fatal("no distributed stats")
+	}
+	ds := res.Distributed
+	if ds.RanksStarted != procs || ds.RanksFinished != procs || ds.RanksLost != 0 {
+		t.Errorf("healthy run recorded ranks %d/%d/%d, want %d/%d/0", ds.RanksStarted, ds.RanksFinished, ds.RanksLost, procs, procs)
+	}
+	if ds.Checkpoints < 1 {
+		t.Fatalf("interval 1 produced %d checkpoints over %d epochs", ds.Checkpoints, ds.Epochs)
+	}
+	mu.Lock()
+	count := len(payloads)
+	last := payloads[count-1]
+	mu.Unlock()
+	// Every rank receives every interval's payload.
+	if count != procs*ds.Checkpoints {
+		t.Errorf("sinks saw %d payloads, want %d ranks x %d checkpoints", count, procs, ds.Checkpoints)
+	}
+
+	est, err := RestoreEstimator(bytes.NewReader(last), Undirected(g))
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	rres, err := est.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rres.Converged {
+		t.Fatal("resumed session did not converge")
+	}
+	// The restored run resumed from mid-run global state; its estimates
+	// must agree with the uninterrupted run's within the two guarantees.
+	worst := 0.0
+	for v := range res.Estimates {
+		if d := math.Abs(res.Estimates[v] - rres.Estimates[v]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2*eps {
+		t.Errorf("restored estimates diverge by %f, want <= %f", worst, 2*eps)
+	}
+}

@@ -406,16 +406,25 @@ func (e *Estimator) Checkpoint(w io.Writer) error {
 	if e.st == nil {
 		return fmt.Errorf("%w: %s", ErrNotCheckpointable, e.oneShot)
 	}
-	buf := make([]byte, 0, ckptMinLen+16*e.w.n)
-	buf = append(buf, ckptMagic...)
-	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
-	buf = append(buf, byte(e.w.kind), 0)
-	buf = e.st.AppendCheckpoint(buf)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf := sealCheckpoint(e.w.kind, e.st.AppendCheckpoint)
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("betweenness: writing checkpoint: %w", err)
 	}
 	return nil
+}
+
+// sealCheckpoint wraps an engine payload in the BCSE envelope. The payload
+// is appended directly into the envelope buffer by appendPayload — either
+// a live serializer (EstimatorState.AppendCheckpoint) or a closure over
+// pre-built bytes (the distributed checkpoint path).
+func sealCheckpoint(kind WorkloadKind, appendPayload func([]byte) []byte) []byte {
+	buf := make([]byte, 0, ckptMinLen)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
+	buf = append(buf, byte(kind), 0)
+	buf = appendPayload(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
 }
 
 // RestoreEstimator reconstructs a session from a Checkpoint stream,

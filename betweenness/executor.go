@@ -57,6 +57,25 @@ func (p Params) coreConfig() core.Config {
 	return cfg
 }
 
+// coreConfigFor extends coreConfig with the pieces that depend on the
+// workload: the periodic distributed checkpoint is sealed in the standard
+// session envelope with the workload's kind byte, so RestoreEstimator
+// accepts it directly.
+func (p Params) coreConfigFor(w Workload) core.Config {
+	cfg := p.coreConfig()
+	if p.DistCheckpointInterval > 0 && p.DistCheckpoint != nil {
+		sink := p.DistCheckpoint
+		kind := w.kind
+		cfg.CheckpointInterval = p.DistCheckpointInterval
+		cfg.OnCheckpoint = func(payload []byte) {
+			sink(sealCheckpoint(kind, func(dst []byte) []byte {
+				return append(dst, payload...)
+			}))
+		}
+	}
+	return cfg
+}
+
 // Sequential returns the single-threaded reference backend. It is the only
 // backend with a certified top-k mode (see WithTopK; undirected workload
 // only — the other workloads derive the ranking from the final estimates).
@@ -148,7 +167,7 @@ func (e localExec) Run(ctx context.Context, w Workload, p Params) (*Result, erro
 	if e.procs < 1 {
 		return nil, fmt.Errorf("betweenness: %s backend needs at least 1 process, got %d", e.name, e.procs)
 	}
-	cr, err := core.RunLocal(ctx, w.inner, e.procs, p.coreConfig(), e.variant)
+	cr, err := core.RunLocal(ctx, w.inner, e.procs, p.coreConfigFor(w), e.variant)
 	if err != nil {
 		return nil, err
 	}
@@ -192,11 +211,16 @@ func (e tcpExec) Run(ctx context.Context, w Workload, p Params) (*Result, error)
 		return nil, fmt.Errorf("betweenness: tcp connect: %w", err)
 	}
 	defer closer.Close()
-	cr, algErr := core.Algorithm2(ctx, w.inner, comm, p.coreConfig())
+	cr, algErr := core.Algorithm2(ctx, w.inner, comm, p.coreConfigFor(w))
 	// Final barrier: no rank may tear down its connections while peers are
-	// still draining collectives.
-	if berr := comm.Barrier(); algErr == nil && berr != nil {
-		return nil, fmt.Errorf("betweenness: tcp final barrier: %w", berr)
+	// still draining collectives. After an in-run recovery the world
+	// communicator's failure generation is stale, so the barrier would
+	// fail by construction; the graceful-close goodbye handshake then
+	// takes over the draining duty.
+	if algErr == nil && (cr == nil || cr.Stats.Recoveries == 0) {
+		if berr := comm.Barrier(); berr != nil {
+			return nil, fmt.Errorf("betweenness: tcp final barrier: %w", berr)
+		}
 	}
 	if algErr != nil {
 		return nil, algErr

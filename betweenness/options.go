@@ -95,6 +95,13 @@ type Params struct {
 	// MaxDuration, when positive, is a wall-clock budget per call (see
 	// WithMaxDuration).
 	MaxDuration time.Duration
+	// DistCheckpointInterval, when positive, makes the MPI/TCP backends
+	// emit a periodic distributed checkpoint every that many epochs (see
+	// WithDistCheckpoint).
+	DistCheckpointInterval int
+	// DistCheckpoint receives each periodic distributed checkpoint; it
+	// must be set together with DistCheckpointInterval.
+	DistCheckpoint func(payload []byte)
 }
 
 // kadabraConfig maps the public parameters onto the internal KADABRA
@@ -299,6 +306,33 @@ func WithMaxDuration(d time.Duration) Option {
 			return fmt.Errorf("betweenness: max duration must be positive, got %v", d)
 		}
 		s.MaxDuration = d
+		return nil
+	}
+}
+
+// WithDistCheckpoint makes the MPI/TCP backends emit a periodic
+// distributed checkpoint every `every` epochs: rank 0 serializes the
+// global estimator state, ships it to every rank on the termination-
+// broadcast frame (no extra collective), and each rank hands the sealed
+// payload to sink. The payload is a standard session checkpoint —
+// RestoreEstimator resumes it on the Sequential backend — so any
+// surviving rank can restart the job after a coordinator (rank 0) death,
+// the one failure the in-run shrink-and-recalibrate recovery cannot
+// absorb. The loss is bounded by one interval of samples.
+//
+// sink runs on each rank's coordinator goroutine between epochs: hand the
+// payload off (say, an atomic file write) rather than block in it.
+// Single-process backends ignore the option.
+func WithDistCheckpoint(every int, sink func(payload []byte)) Option {
+	return func(s *settings) error {
+		if every < 1 {
+			return fmt.Errorf("betweenness: checkpoint interval must be >= 1 epoch, got %d", every)
+		}
+		if sink == nil {
+			return fmt.Errorf("betweenness: checkpoint sink must not be nil")
+		}
+		s.DistCheckpointInterval = every
+		s.DistCheckpoint = sink
 		return nil
 	}
 }

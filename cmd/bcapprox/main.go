@@ -53,6 +53,20 @@
 //	                   -eps/-delta refine the resumed session toward the
 //	                   new target, reusing every prior sample
 //
+// Fault tolerance (dist/alg1/tcp): a rank death mid-run is absorbed by the
+// shrink-and-recalibrate recovery protocol — the world shrinks to the
+// survivors and the run completes with the full (eps, delta) guarantee.
+// The one failure that cannot be absorbed in-run is the death of rank 0
+// (the coordinator); bound its cost with
+//
+//	-dist-checkpoint-interval N   with -checkpoint PATH: every N epochs
+//	                              atomically overwrite PATH with a
+//	                              distributed checkpoint of the global
+//	                              state (every rank writes its own copy).
+//	                              After a crash, restart from it with
+//	                              -backend seq -resume PATH — at most N
+//	                              epochs of samples are lost
+//
 // Ctrl-C cancels a running estimate cleanly within one epoch of the
 // sampling loops (the diameter phase runs to completion first; bound it
 // on large graphs by precomputing with graphinfo or using a generator
@@ -107,8 +121,9 @@ func main() {
 
 		maxSamples = flag.Int64("max-samples", 0, "stop after this many samples and report the achieved guarantee (0 = until eps)")
 		maxDur     = flag.Duration("max-duration", 0, "stop after this much wall clock and report the achieved guarantee (0 = until eps)")
-		ckptPath   = flag.String("checkpoint", "", "seq/shm: persist the session here (written on Ctrl-C and on completion)")
+		ckptPath   = flag.String("checkpoint", "", "seq/shm: persist the session here (written on Ctrl-C and on completion); dist/alg1/tcp with -dist-checkpoint-interval: destination of the periodic distributed checkpoint")
 		resumePath = flag.String("resume", "", "seq/shm: resume a -checkpoint session; explicit -eps/-delta refine it")
+		distCkpt   = flag.Int("dist-checkpoint-interval", 0, "dist/alg1/tcp: write a distributed checkpoint to -checkpoint every N epochs (0 = off; resume it with -backend seq -resume)")
 	)
 	flag.Parse()
 	// Resuming takes the statistical identity from the checkpoint; an
@@ -203,9 +218,35 @@ func main() {
 	}
 	opts = append(opts, betweenness.WithExecutor(exec))
 
+	if *distCkpt < 0 {
+		fatal(fmt.Errorf("-dist-checkpoint-interval must be >= 0, got %d", *distCkpt))
+	}
+	if *distCkpt > 0 {
+		switch *backend {
+		case "dist", "alg1", "tcp":
+		default:
+			fatal(fmt.Errorf("-dist-checkpoint-interval needs an MPI backend (dist, alg1, or tcp), got %q", *backend))
+		}
+		if *ckptPath == "" {
+			fatal(fmt.Errorf("-dist-checkpoint-interval needs -checkpoint PATH as the destination"))
+		}
+		// The sink overwrites the same file atomically each interval, so
+		// after a crash (including a rank-0 death, the one failure the
+		// in-run recovery cannot absorb) the newest complete checkpoint is
+		// on disk, restartable with -backend seq -resume.
+		path := *ckptPath
+		opts = append(opts, betweenness.WithDistCheckpoint(*distCkpt, func(payload []byte) {
+			if err := writeBlob(path, payload); err != nil {
+				fmt.Fprintln(os.Stderr, "bcapprox: distributed checkpoint:", err)
+			}
+		}))
+	}
 	if *ckptPath != "" || *resumePath != "" {
-		if *backend != "seq" && *backend != "shm" {
-			fatal(fmt.Errorf("-checkpoint/-resume need a resumable session (-backend seq or shm), got %q", *backend))
+		if *resumePath != "" && *backend != "seq" && *backend != "shm" {
+			fatal(fmt.Errorf("-resume needs a resumable session (-backend seq or shm), got %q", *backend))
+		}
+		if *ckptPath != "" && *backend != "seq" && *backend != "shm" && *distCkpt == 0 {
+			fatal(fmt.Errorf("-checkpoint with backend %q needs -dist-checkpoint-interval (session checkpoints need -backend seq or shm)", *backend))
 		}
 		if *certify {
 			fatal(fmt.Errorf("-certify-top runs to completion and cannot be checkpointed or resumed"))
@@ -289,8 +330,10 @@ func main() {
 	}
 	if err != nil {
 		// SIGINT with a checkpoint path: persist the completed work
-		// instead of discarding it.
-		if errors.Is(err, context.Canceled) && *ckptPath != "" {
+		// instead of discarding it. (With -dist-checkpoint-interval the
+		// periodic sink already left the newest complete checkpoint on
+		// disk; the session is not checkpointable from here.)
+		if errors.Is(err, context.Canceled) && *ckptPath != "" && *distCkpt == 0 {
 			if werr := writeCheckpoint(est, *ckptPath); werr != nil {
 				fatal(werr)
 			}
@@ -301,11 +344,15 @@ func main() {
 		}
 		fatal(err)
 	}
-	if *ckptPath != "" {
+	switch {
+	case *ckptPath != "" && *distCkpt == 0:
 		if werr := writeCheckpoint(est, *ckptPath); werr != nil {
 			fatal(werr)
 		}
 		fmt.Printf("session saved to %s (refine it later with -resume)\n", *ckptPath)
+	case *distCkpt > 0:
+		fmt.Printf("distributed checkpoints: every %d epochs to %s (restartable with -backend seq -resume %s)\n",
+			*distCkpt, *ckptPath, *ckptPath)
 	}
 	if res.Estimates == nil {
 		// TCP mode, non-root rank: the result lives at rank 0.
@@ -412,6 +459,17 @@ func writeCheckpoint(est *betweenness.Estimator, path string) error {
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeBlob atomically replaces path with the given bytes (temp file plus
+// rename) — the sink of the periodic distributed checkpoint, whose payload
+// arrives already sealed.
+func writeBlob(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)

@@ -117,9 +117,25 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	samplingStart := time.Now()
 	n0 := kcfg.EpochLength(comm.Size())
 	var stats Stats
+	stats.RanksStarted = comm.Size()
 	stats.CommVolumePerEpoch = commVolumePerEpoch(n, comm.Size())
 	var wire []byte
 	var checkTime time.Duration
+
+	// Fault tolerance: a rank death inside the epoch loop is absorbed by
+	// shrinking the world, salvaging unfolded frames, and recalibrating the
+	// per-rank schedule to the surviving worker count (see recover.go).
+	ft := newFTState(comm, cfg, n)
+	recoverWorld := func(cause error) error {
+		if rerr := ft.recover(cause, S, &STau); rerr != nil {
+			return rerr
+		}
+		n0 = kcfg.EpochLength(ft.comm.Size())
+		stats.RanksLost = ft.ranksLost
+		stats.Recoveries = ft.recoveries
+		stats.CommVolumePerEpoch = commVolumePerEpoch(n, ft.comm.Size())
+		return nil
+	}
 
 	for code == codeContinue {
 		// for n0 times do: S_loc += sample  (Alg. 1 line 5)
@@ -132,23 +148,29 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		wire = epoch.AppendWire(wire[:0], loc, ctx.Err() != nil)
 		loc.Reset()
 		stats.WireBytes += int64(len(wire))
+		ft.noteEpoch(wire)
 
-		reduced, bw, rt, err := aggregate(comm, cfg.Strategy, wire, overlap)
+		reduced, bw, rt, err := aggregate(ft.comm, cfg.Strategy, wire, overlap)
 		if err != nil {
-			return nil, err
+			if rerr := recoverWorld(err); rerr != nil {
+				return nil, rerr
+			}
+			continue
 		}
 		stats.BarrierWait += bw
 		stats.ReduceTime += rt
 		stats.Epochs++
 
 		var next int64
-		if comm.Rank() == root {
+		var blob []byte
+		if ft.comm.Rank() == root {
 			// S += S'; d = CheckForStop(S)  (Alg. 1 lines 13-14)
 			tau, remoteCancelled, ferr := epoch.FoldWire(reduced, S)
 			if ferr != nil {
 				return nil, fmt.Errorf("core: epoch frame: %w", ferr)
 			}
 			STau += tau
+			ft.noteFold()
 			cs := time.Now()
 			converged = cal.HaveToStop(S, STau)
 			checkTime += time.Since(cs)
@@ -156,10 +178,21 @@ func Algorithm1(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 				cfg.OnEpoch(progressAt(cal, S, STau, stats.Epochs, rateStart))
 			}
 			next = stopCode(converged || budget.Exceeded(STau), ctx.Err(), remoteCancelled)
+			blob = checkpointBlob(cfg, vd, n, S, STau, cal, stats.Epochs, next)
 		}
-		code, err = broadcastCode(comm, root, next, overlap)
+		code, blob, err = broadcastFrame(ft.comm, root, next, blob, overlap)
 		if err != nil {
-			return nil, err
+			if rerr := recoverWorld(err); rerr != nil {
+				return nil, rerr
+			}
+			// A decided stop that failed to broadcast is re-derived next
+			// epoch: the stopping rule is monotone in S.
+			code = codeContinue
+			continue
+		}
+		if len(blob) > 0 && cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(blob)
+			stats.Checkpoints++
 		}
 	}
 	samplingTime := time.Since(samplingStart)

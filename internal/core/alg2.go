@@ -111,25 +111,35 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		return nil, err
 	}
 
-	// Hierarchical communicators (§IV-E).
+	// Hierarchical communicators (§IV-E), rebuilt from the current world
+	// communicator after every shrink.
+	ft := newFTState(comm, cfg, n)
 	var local, global *mpi.Comm
-	hierarchical := cfg.RanksPerNode > 1 && comm.Size() > 1
-	if hierarchical {
-		node := comm.Rank() / cfg.RanksPerNode
-		local, err = comm.Split(node, comm.Rank())
-		if err != nil {
-			return nil, fmt.Errorf("core: local split: %w", err)
+	var hierarchical bool
+	buildHierarchy := func() error {
+		hierarchical = cfg.RanksPerNode > 1 && ft.comm.Size() > 1
+		if !hierarchical {
+			local, global = nil, ft.comm
+			return nil
+		}
+		node := ft.comm.Rank() / cfg.RanksPerNode
+		var herr error
+		local, herr = ft.comm.Split(node, ft.comm.Rank())
+		if herr != nil {
+			return fmt.Errorf("core: local split: %w", herr)
 		}
 		leaderColor := -1
 		if local.Rank() == 0 {
 			leaderColor = 0
 		}
-		global, err = comm.Split(leaderColor, comm.Rank())
-		if err != nil {
-			return nil, fmt.Errorf("core: global split: %w", err)
+		global, herr = ft.comm.Split(leaderColor, ft.comm.Rank())
+		if herr != nil {
+			return fmt.Errorf("core: global split: %w", herr)
 		}
-	} else {
-		global = comm
+		return nil
+	}
+	if err := buildHierarchy(); err != nil {
+		return nil, err
 	}
 
 	// Aggregated state S at world rank 0, seeded with calibration samples.
@@ -191,6 +201,7 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	}
 
 	var stats Stats
+	stats.RanksStarted = comm.Size()
 	stats.CommVolumePerEpoch = commVolumePerEpoch(n, comm.Size())
 
 	// Degenerate case: calibration alone may satisfy the stopping condition.
@@ -220,6 +231,32 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 	var checkTime time.Duration
 	var e uint64
 
+	// Fault tolerance: a rank death inside the epoch loop is absorbed by
+	// shrinking the world, salvaging unfolded frames, rebuilding the
+	// hierarchical communicators, and recalibrating the per-rank schedule
+	// to the surviving worker count (see recover.go). The sampling threads
+	// keep running throughout a recovery — their samples land in the
+	// current epoch's frames and are aggregated as usual afterwards.
+	recoverWorld := func(cause error) error {
+		for {
+			if rerr := ft.recover(cause, S, &STau); rerr != nil {
+				return rerr
+			}
+			if herr := buildHierarchy(); herr != nil {
+				if _, ok := mpi.AsRankDead(herr); ok {
+					cause = herr // a further death during the re-split
+					continue
+				}
+				return herr
+			}
+			n0 = kcfg.EpochLength(ft.comm.Size() * T)
+			stats.RanksLost = ft.ranksLost
+			stats.Recoveries = ft.recoveries
+			stats.CommVolumePerEpoch = commVolumePerEpoch(n, ft.comm.Size())
+			return nil
+		}
+	}
+
 	for {
 		// Sample n0 times into the epoch-e frame (Alg. 2 lines 12-13).
 		for i := 0; i < n0; i++ {
@@ -241,38 +278,58 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 		wire = epoch.AppendWire(wire[:0], eLoc, ctx.Err() != nil)
 		eLoc.Reset()
 		stats.WireBytes += int64(len(wire))
+		ft.noteEpoch(wire)
 
 		// Inter-process aggregation (lines 19-21), hierarchical per §IV-E:
 		// node-local blocking merge-reduce (the shared-memory analogue),
 		// then the strategy-selected global aggregation among node leaders.
 		var reduced []byte
 		payload := wire
+		aggErr := error(nil)
 		if hierarchical {
 			lres, lerr := local.ReduceMerge(0, payload, epoch.MergeWire)
 			if lerr != nil {
-				done.Store(true)
-				wg.Wait()
-				return nil, fmt.Errorf("core: local reduce: %w", lerr)
+				if _, ok := mpi.AsRankDead(lerr); !ok {
+					done.Store(true)
+					wg.Wait()
+					return nil, fmt.Errorf("core: local reduce: %w", lerr)
+				}
+				aggErr = lerr
 			}
 			payload = lres
 		}
-		if !hierarchical || local.Rank() == 0 {
+		if aggErr == nil && (!hierarchical || local.Rank() == 0) {
 			var bw, rt time.Duration
 			reduced, bw, rt, err = aggregate(global, cfg.Strategy, payload, overlap)
 			if err != nil {
-				done.Store(true)
-				wg.Wait()
-				return nil, err
+				if _, ok := mpi.AsRankDead(err); !ok {
+					done.Store(true)
+					wg.Wait()
+					return nil, err
+				}
+				aggErr = err
 			}
 			stats.BarrierWait += bw
 			stats.ReduceTime += rt
+		}
+		if aggErr != nil {
+			if rerr := recoverWorld(aggErr); rerr != nil {
+				done.Store(true)
+				wg.Wait()
+				return nil, rerr
+			}
+			// The epoch framework already moved past epoch e; resume the
+			// loop at the next epoch index on the shrunken world.
+			e++
+			continue
 		}
 		stats.Epochs++
 
 		// Fold into S and check the stopping condition at rank 0 only
 		// (lines 22-24).
 		var next int64
-		if comm.Rank() == root {
+		var blob []byte
+		if ft.comm.Rank() == root {
 			tau, remoteCancelled, ferr := epoch.FoldWire(reduced, S)
 			if ferr != nil {
 				done.Store(true)
@@ -280,6 +337,7 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 				return nil, fmt.Errorf("core: epoch frame: %w", ferr)
 			}
 			STau += tau
+			ft.noteFold()
 			cs := time.Now()
 			converged = cal.HaveToStop(S, STau)
 			checkTime += time.Since(cs)
@@ -287,14 +345,26 @@ func Algorithm2(ctx context.Context, w kadabra.Workload, comm *mpi.Comm, cfg Con
 				cfg.OnEpoch(progressAt(cal, S, STau, stats.Epochs, rateStart))
 			}
 			next = stopCode(converged || budget.Exceeded(STau), ctx.Err(), remoteCancelled)
+			blob = checkpointBlob(cfg, vd, n, S, STau, cal, stats.Epochs, next)
 		}
 
-		// Broadcast the termination code with overlap (lines 25-27).
-		code, err = broadcastCode(comm, root, next, overlap)
+		// Broadcast the termination code (plus any due checkpoint) with
+		// overlap (lines 25-27).
+		code, blob, err = broadcastFrame(ft.comm, root, next, blob, overlap)
 		if err != nil {
-			done.Store(true)
-			wg.Wait()
-			return nil, err
+			if rerr := recoverWorld(err); rerr != nil {
+				done.Store(true)
+				wg.Wait()
+				return nil, rerr
+			}
+			// A decided stop that failed to broadcast is re-derived next
+			// epoch: the stopping rule is monotone in S.
+			e++
+			continue
+		}
+		if len(blob) > 0 && cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(blob)
+			stats.Checkpoints++
 		}
 		e++
 		if code != codeContinue {

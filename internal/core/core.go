@@ -95,6 +95,20 @@ type Config struct {
 	// the dense-vs-sparse equivalence tests and as an ablation of the
 	// paper's overlap story. Leave it off otherwise.
 	NoOverlap bool
+	// CheckpointInterval, when > 0, makes rank 0 serialize the global
+	// estimator state every this many epochs and ship it to every rank on
+	// the termination-broadcast frame; each rank then invokes OnCheckpoint
+	// with the payload. Because every rank holds the latest checkpoint, a
+	// rank-0 death — the one failure the in-run recovery protocol cannot
+	// absorb — costs at most one checkpoint interval of samples: restart
+	// from the payload via kadabra.RestoreEstimatorState (the betweenness
+	// layer wraps it for RestoreEstimator).
+	CheckpointInterval int
+	// OnCheckpoint receives each periodic distributed checkpoint (see
+	// CheckpointInterval). It runs on every rank's coordinator goroutine
+	// between the termination broadcast and the next epoch, so it should
+	// hand the payload off (e.g. an atomic file write) rather than block.
+	OnCheckpoint func(payload []byte)
 }
 
 func (c Config) threads() int {
@@ -132,6 +146,15 @@ type Stats struct {
 	// TransitionWait is the time spent waiting for epoch transitions
 	// (Algorithm 2 only; overlapped with sampling).
 	TransitionWait time.Duration
+	// RanksStarted is the world size the run began with; RanksLost counts
+	// ranks declared dead and folded out by the recovery protocol (see
+	// recover.go), and Recoveries the world reconfigurations performed.
+	RanksStarted int
+	RanksLost    int
+	Recoveries   int
+	// Checkpoints counts the periodic distributed checkpoints this rank
+	// received (see Config.CheckpointInterval).
+	Checkpoints int
 }
 
 // Result bundles the kadabra result with distribution statistics. Only
@@ -301,9 +324,20 @@ const (
 // broadcastCode distributes the termination code with a non-blocking
 // broadcast, overlapping with overlap().
 func broadcastCode(comm *mpi.Comm, root int, code int64, overlap func()) (int64, error) {
+	code, _, err := broadcastFrame(comm, root, code, nil, overlap)
+	return code, err
+}
+
+// broadcastFrame distributes the termination code plus an optional opaque
+// blob — the periodic distributed checkpoint rides here, so checkpointing
+// adds no extra collective — with a non-blocking broadcast, overlapping
+// with overlap().
+func broadcastFrame(comm *mpi.Comm, root int, code int64, blob []byte, overlap func()) (int64, []byte, error) {
 	var req *mpi.Request
 	if comm.Rank() == root {
-		req = comm.IBcast(root, mpi.EncodeInt64s(nil, []int64{code}))
+		payload := mpi.EncodeInt64s(nil, []int64{code})
+		payload = append(payload, blob...)
+		req = comm.IBcast(root, payload)
 	} else {
 		req = comm.IBcast(root, nil)
 	}
@@ -312,11 +346,29 @@ func broadcastCode(comm *mpi.Comm, root int, code int64, overlap func()) (int64,
 	}
 	data, err := req.Wait()
 	if err != nil {
-		return 0, err
+		return 0, nil, err
+	}
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("core: short termination frame (%d bytes)", len(data))
 	}
 	out := make([]int64, 1)
-	mpi.DecodeInt64s(out, data)
-	return out[0], nil
+	mpi.DecodeInt64s(out, data[:8])
+	return out[0], data[8:], nil
+}
+
+// checkpointBlob builds the periodic distributed checkpoint at rank 0 when
+// one is due: the run continues, a sink is registered, and the interval
+// divides the epoch count. The payload is a sequential-engine estimator
+// checkpoint of the global state (kadabra.AppendDistCheckpoint), so any
+// rank holding it can restart the job after a rank-0 death.
+func checkpointBlob(cfg Config, vd, n int, S []int64, STau int64, cal *kadabra.Calibration, epochs int, next int64) []byte {
+	if cfg.CheckpointInterval <= 0 || cfg.OnCheckpoint == nil || next != codeContinue {
+		return nil
+	}
+	if epochs%cfg.CheckpointInterval != 0 {
+		return nil
+	}
+	return kadabra.AppendDistCheckpoint(nil, cfg.Config, vd, n, S, STau, cal, epochs)
 }
 
 // stopCode folds the local stopping decision, the local context, and the

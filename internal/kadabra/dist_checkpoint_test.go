@@ -1,0 +1,114 @@
+package kadabra
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestAppendDistCheckpointRoundtrip exercises the rank-0 payload of the
+// periodic distributed checkpoint: AppendDistCheckpoint builds a session
+// checkpoint from raw global state (per-vertex counts, tau, calibration,
+// epochs) rather than from a live EstimatorState, and the result must pass
+// RestoreEstimatorState's full validation, reproduce the state field for
+// field, and run on to the (eps, delta) guarantee on the sequential engine.
+func TestAppendDistCheckpointRoundtrip(t *testing.T) {
+	g := testGraph()
+	for _, dense := range []bool{false, true} {
+		name := "sparse"
+		if dense {
+			name = "dense"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{Eps: 0.03, Delta: 0.1, Seed: 17, DenseFrames: dense}
+			w := UndirectedWorkload(g)
+
+			full, err := NewEstimatorState(w, 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := full.Run(context.Background(), Budget{}); err != nil {
+				t.Fatal(err)
+			}
+			want := full.Result()
+			if !want.Converged {
+				t.Fatal("uninterrupted run did not converge")
+			}
+
+			// Drive a real session past calibration, then harvest its raw
+			// state — the same quantities rank 0 holds between epochs.
+			src, err := NewEstimatorState(w, 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := want.Tau / 2
+			if err := src.Run(context.Background(), Budget{MaxSamples: cut}); err != nil {
+				t.Fatal(err)
+			}
+			if !src.Calibrated() || src.Converged() {
+				t.Fatalf("budget %d did not pause mid-adaptive-phase (calibrated=%v converged=%v)",
+					cut, src.Calibrated(), src.Converged())
+			}
+			counts := append([]int64(nil), src.s.C...)
+
+			blob := AppendDistCheckpoint(nil, cfg, src.vd, w.n, counts, src.Tau(), src.cal, src.Epochs())
+			restored, err := RestoreEstimatorState(blob, UndirectedWorkload(g))
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+
+			if restored.Threads() != 0 {
+				t.Errorf("restored threads %d, want 0 (sequential)", restored.Threads())
+			}
+			if restored.Tau() != src.Tau() {
+				t.Errorf("restored tau %d, want %d", restored.Tau(), src.Tau())
+			}
+			if restored.Epochs() != src.Epochs() {
+				t.Errorf("restored epochs %d, want %d", restored.Epochs(), src.Epochs())
+			}
+			if !restored.Calibrated() {
+				t.Error("restored session not calibrated")
+			}
+			if restored.Converged() {
+				t.Error("restored session already converged")
+			}
+			if restored.vd != src.vd || restored.omega != src.omega {
+				t.Errorf("restored vd/omega %d/%f, want %d/%f", restored.vd, restored.omega, src.vd, src.omega)
+			}
+			for v := range counts {
+				if restored.s.C[v] != counts[v] {
+					t.Fatalf("restored count differs at vertex %d: %d vs %d", v, restored.s.C[v], counts[v])
+				}
+			}
+			for i := range src.cal.DeltaL {
+				if restored.cal.DeltaL[i] != src.cal.DeltaL[i] || restored.cal.DeltaU[i] != src.cal.DeltaU[i] {
+					t.Fatalf("calibration tables differ at vertex %d", i)
+				}
+			}
+
+			// The restored session carries a fresh RNG stream (statistically
+			// equivalent, not the original), so resumption is not bit-exact;
+			// it must still converge and agree with the uninterrupted run
+			// within the two guarantees.
+			if err := restored.Run(context.Background(), Budget{}); err != nil {
+				t.Fatal(err)
+			}
+			res := restored.Result()
+			if !res.Converged {
+				t.Fatal("resumed session did not converge")
+			}
+			if res.AchievedEps > cfg.Eps {
+				t.Errorf("resumed achieved eps %f, want <= %f", res.AchievedEps, cfg.Eps)
+			}
+			worst := 0.0
+			for v := range want.Betweenness {
+				if d := math.Abs(want.Betweenness[v] - res.Betweenness[v]); d > worst {
+					worst = d
+				}
+			}
+			if worst > 2*cfg.Eps {
+				t.Errorf("resumed estimates diverge by %f, want <= %f", worst, 2*cfg.Eps)
+			}
+		})
+	}
+}

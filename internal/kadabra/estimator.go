@@ -532,6 +532,67 @@ func (st *EstimatorState) AppendCheckpoint(dst []byte) []byte {
 	return dst
 }
 
+// AppendDistCheckpoint appends a checkpoint payload (same layout and
+// version as EstimatorState.AppendCheckpoint) synthesized from the global
+// state of a distributed run: the folded per-vertex counts, the total
+// sample count tau, and the calibration budgets held at world rank 0. The
+// payload restores onto a sequential-engine session via
+// RestoreEstimatorState, so a job whose coordinator died can resume
+// single-process (or be re-distributed by re-running calibration-free).
+//
+// Two fields cannot be carried over exactly and are re-synthesized:
+// the RNG stream (a distributed run has one stream per rank; the restored
+// session gets a fresh stream derived from cfg.Seed and tau, which is
+// statistically equivalent — the guarantee never depends on which samples
+// are drawn, only on how many) and the stopping schedule (nextCheck is set
+// to tau, so the restored session re-checks convergence immediately).
+func AppendDistCheckpoint(dst []byte, cfg Config, vd, n int, counts []int64, tau int64, cal *Calibration, epochs int) []byte {
+	cfg = cfg.withDefaults()
+	dst = binary.LittleEndian.AppendUint16(dst, checkpointVersion)
+	dst = append(dst, byte(engineSequential))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // threads
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(cfg.Eps))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(cfg.Delta))
+	dst = binary.LittleEndian.AppendUint64(dst, cfg.Seed)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(cfg.StartFactor))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(cfg.CheckInterval))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(cfg.EpochBase))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(cfg.EpochSkew))
+	var dense byte
+	if cfg.DenseFrames {
+		dense = 1
+	}
+	dst = append(dst, dense)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(vd))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tau)) // nextCheck
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(epochs))
+	dst = append(dst, 1, 0) // calibrated, not converged
+	dst = binary.LittleEndian.AppendUint32(dst, 1)
+	stream := rng.NewRand(rng.NewSplitMix64(cfg.Seed ^ 0xD15C ^ uint64(tau)).Next())
+	for _, word := range stream.State() {
+		dst = binary.LittleEndian.AppendUint64(dst, word)
+	}
+	sf := epoch.NewStateFrame(n)
+	if cfg.DenseFrames {
+		sf.ForceDense()
+	}
+	for v, c := range counts {
+		if c != 0 {
+			sf.AddCount(uint32(v), c)
+		}
+	}
+	sf.Tau = tau
+	dst = epoch.AppendFrame(dst, sf)
+	for _, d := range cal.DeltaL {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d))
+	}
+	for _, d := range cal.DeltaU {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d))
+	}
+	return dst
+}
+
 // ckptReader is a bounds-checked cursor over an untrusted checkpoint
 // payload: every read past the end sets err and returns zero, so parsing
 // code stays linear and the final err check catches truncation.

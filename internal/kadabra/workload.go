@@ -99,6 +99,17 @@ func (w Workload) Validate() error {
 	return nil
 }
 
+// WrapSampler returns a copy of the workload whose samplers are wrapped by
+// wrap. It is an instrumentation seam — the fault-injection tests use it to
+// count exactly how many samples each kernel drew and compare against the
+// folded tau. The wrapper must preserve the sampling distribution for the
+// (eps, delta) guarantee to carry over.
+func (w Workload) WrapSampler(wrap func(Sampler) Sampler) Workload {
+	inner := w.newSampler
+	w.newSampler = func(r *rng.Rand) Sampler { return wrap(inner(r)) }
+	return w
+}
+
 // UndirectedWorkload wraps the paper's standard scenario: bidirectional BFS
 // sampling on an undirected graph. This is the one workload whose exact
 // diameter phase can dominate, so it honours cfg.DiameterBFSCap; the

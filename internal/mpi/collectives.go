@@ -343,6 +343,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		ctx:  ctx,
 		rank: myRank,
 		glob: glob,
+		gen:  c.eng.generation(),
 	}, nil
 }
 
@@ -354,5 +355,5 @@ func (c *Comm) Dup() *Comm {
 	ctx := mix64(mix64(c.ctx+seq) ^ 0xd0d0d0d0)
 	glob := make([]int, len(c.glob))
 	copy(glob, c.glob)
-	return &Comm{eng: c.eng, ctx: ctx, rank: c.rank, glob: glob}
+	return &Comm{eng: c.eng, ctx: ctx, rank: c.rank, glob: glob, gen: c.eng.generation()}
 }

@@ -18,6 +18,13 @@ type engine struct {
 	pending    map[matchKey][]*Request
 	closed     bool
 	err        error
+	// dead records peers declared dead (world rank -> ErrRankDead); gen is
+	// bumped on every death and fences communicators built before it (see
+	// fault.go). lastDeath is the most recent death error, returned by
+	// fenced operations.
+	dead      map[int]error
+	gen       uint64
+	lastDeath error
 }
 
 type matchKey struct {
@@ -58,8 +65,9 @@ func (e *engine) deliver(env envelope) {
 }
 
 // post registers a receive for (ctx, src, tag), matching a buffered message
-// if one is already present.
-func (e *engine) post(key matchKey, req *Request) {
+// if one is already present. gen is the posting communicator's failure
+// generation: a stale generation fails fast with the latest death error.
+func (e *engine) post(key matchKey, gen uint64, req *Request) {
 	e.mu.Lock()
 	if e.closed {
 		err := e.err
@@ -67,6 +75,12 @@ func (e *engine) post(key matchKey, req *Request) {
 		if err == nil {
 			err = ErrClosed
 		}
+		req.complete(nil, err)
+		return
+	}
+	if gen != e.gen {
+		err := e.lastDeath
+		e.mu.Unlock()
 		req.complete(nil, err)
 		return
 	}
@@ -83,6 +97,103 @@ func (e *engine) post(key matchKey, req *Request) {
 	}
 	e.pending[key] = append(e.pending[key], req)
 	e.mu.Unlock()
+}
+
+// postRecovery registers a receive on the recovery channel for a message
+// from world rank src. It bypasses the generation fence but fails
+// immediately if src is already dead.
+func (e *engine) postRecovery(src int, tag int32, req *Request) {
+	key := matchKey{recoveryCtx, int32(src), tag}
+	e.mu.Lock()
+	if e.closed {
+		err := e.err
+		e.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		req.complete(nil, err)
+		return
+	}
+	if derr, ok := e.dead[src]; ok {
+		e.mu.Unlock()
+		req.complete(nil, derr)
+		return
+	}
+	if msgs := e.unexpected[key]; len(msgs) > 0 {
+		data := msgs[0]
+		if len(msgs) == 1 {
+			delete(e.unexpected, key)
+		} else {
+			e.unexpected[key] = msgs[1:]
+		}
+		e.mu.Unlock()
+		req.complete(data, nil)
+		return
+	}
+	e.pending[key] = append(e.pending[key], req)
+	e.mu.Unlock()
+}
+
+// notifyDeath records world rank r as dead: the failure generation is
+// bumped (fencing every communicator built before the death) and all
+// pending operations are revoked with ErrRankDead — except recovery-channel
+// receives from other, still-live sources, which the world-reconfiguration
+// handshake depends on. Idempotent per rank; the engine stays open.
+func (e *engine) notifyDeath(r int, cause error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if _, ok := e.dead[r]; ok {
+		e.mu.Unlock()
+		return
+	}
+	if e.dead == nil {
+		e.dead = make(map[int]error)
+	}
+	err := ErrRankDead{Rank: r, Cause: cause}
+	e.dead[r] = err
+	e.gen++
+	e.lastDeath = err
+	var revoked []*Request
+	for key, reqs := range e.pending {
+		if key.ctx == recoveryCtx && int(key.src) != r {
+			continue
+		}
+		revoked = append(revoked, reqs...)
+		delete(e.pending, key)
+	}
+	e.mu.Unlock()
+	for _, req := range revoked {
+		req.complete(nil, err)
+	}
+}
+
+// generation returns the current failure generation; communicators capture
+// it at construction time.
+func (e *engine) generation() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen
+}
+
+// fence validates a communicator generation before an operation, so that
+// survivors of a death fail fast instead of blocking on a communication
+// pattern that can no longer complete.
+func (e *engine) fence(gen uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		if e.err != nil {
+			return e.err
+		}
+		return ErrClosed
+	}
+	if gen != e.gen {
+		return e.lastDeath
+	}
+	return nil
 }
 
 // fail poisons the engine: all pending and future receives error out.

@@ -77,6 +77,10 @@ type Comm struct {
 	// collSeq numbers collective operations so concurrent collectives on
 	// one communicator use disjoint internal tag ranges.
 	collSeq uint64
+	// gen is the engine failure generation this communicator was built in;
+	// operations fence against it so a communicator that predates a peer
+	// death fails fast with ErrRankDead (see fault.go).
+	gen uint64
 }
 
 // Rank returns the calling process's rank in the communicator.

@@ -17,6 +17,9 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 
 // sendRaw sends with an internal (possibly collective-range) tag.
 func (c *Comm) sendRaw(dst int, tag int32, data []byte) error {
+	if err := c.eng.fence(c.gen); err != nil {
+		return err
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	return c.eng.tr.send(c.glob[dst], envelope{
@@ -41,7 +44,7 @@ func (c *Comm) Irecv(src, tag int) (*Request, error) {
 
 func (c *Comm) irecvRaw(src int, tag int32) *Request {
 	req := newRequest()
-	c.eng.post(matchKey{c.ctx, int32(src), tag}, req)
+	c.eng.post(matchKey{c.ctx, int32(src), tag}, c.gen, req)
 	return req
 }
 

@@ -14,33 +14,96 @@ import (
 // length-prefixed: {ctx u64, src i32, tag i32, len u32, payload}. A
 // per-connection write lock serializes concurrent senders; a reader
 // goroutine per connection feeds the local matching engine.
+//
+// Liveness: a background goroutine sends a heartbeat frame on every
+// connection each HeartbeatInterval, and every read and write carries a
+// LivenessTimeout deadline. A peer that resets its connection, EOFs
+// without a goodbye, or stays silent past the deadline is declared dead
+// via engine.notifyDeath — a typed ErrRankDead instead of the unbounded
+// hang a silent peer used to cause on the epoch reduce path.
 type tcpTransport struct {
 	self  int
 	conns []*tcpConn // indexed by peer world rank; conns[self] == nil
 	eng   *engine
+	opts  TCPOptions
 
-	mu     sync.Mutex
-	closed bool
+	stopHB chan struct{} // closes to stop the heartbeat goroutine
+
+	mu      sync.Mutex
+	closed  bool
+	started bool // readLoops running; gates the goodbye wait in close
 }
 
 type tcpConn struct {
 	c  net.Conn
 	wm sync.Mutex // write mutex
-	// goodbye is set when the peer announced a graceful shutdown, so the
-	// subsequent EOF must not poison the engine. Only the connection's
-	// readLoop goroutine touches it.
+	// goodbye is set when the peer announced a graceful shutdown. Only the
+	// connection's readLoop goroutine writes it before sawBye is closed.
 	goodbye bool
+	// sawBye is closed once the peer's goodbye arrived or the readLoop
+	// exited; graceful close waits on it so no socket is torn down while
+	// the peer might still be reading (a premature close could turn the
+	// peer's pending goodbye into a connection reset).
+	sawBye     chan struct{}
+	sawByeOnce sync.Once
 }
+
+func (tc *tcpConn) markBye() { tc.sawByeOnce.Do(func() { close(tc.sawBye) }) }
 
 const tcpFrameHeader = 8 + 4 + 4 + 4
 
 // goodbyeTag is a reserved control tag announcing graceful finalization.
-// A connection that EOFs without it is treated as a failure, which poisons
-// the whole engine — the fail-stop model of MPI's default error handler.
 const goodbyeTag = int32(-1)
 
 // goodbyeTagWire is goodbyeTag's two's-complement wire representation.
 const goodbyeTagWire = ^uint32(0)
+
+// heartbeatTag is a reserved control tag carrying no payload; its arrival
+// only refreshes the liveness deadline.
+const heartbeatTag = int32(-2)
+
+// heartbeatTagWire is heartbeatTag's two's-complement wire representation.
+const heartbeatTagWire = ^uint32(1)
+
+// TCPOptions tunes mesh formation and liveness detection. The zero value
+// selects the defaults below.
+type TCPOptions struct {
+	// DialTimeout bounds mesh formation: ranks may start up to this far
+	// apart. Default 30s.
+	DialTimeout time.Duration
+	// HeartbeatInterval is the cadence of heartbeat frames on every
+	// connection, sent by a background goroutine so they keep flowing
+	// while the process computes. Default 1s.
+	HeartbeatInterval time.Duration
+	// LivenessTimeout is the read/write deadline on every connection: a
+	// peer silent for this long is declared dead (ErrRankDead). It is also
+	// the window after which a peer that said goodbye mid-run is treated
+	// as departed. Must comfortably exceed HeartbeatInterval. Default 10s.
+	LivenessTimeout time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 30 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.LivenessTimeout == 0 {
+		o.LivenessTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// closeGrace bounds how long a graceful close waits for the peers' own
+// goodbye frames before tearing the sockets down anyway.
+const closeGrace = 3 * time.Second
+
+func (tt *tcpTransport) isClosed() bool {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.closed
+}
 
 func (tt *tcpTransport) send(dst int, env envelope) error {
 	if dst == tt.self {
@@ -57,16 +120,62 @@ func (tt *tcpTransport) send(dst int, env envelope) error {
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(env.tag))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(env.data)))
 	conn.wm.Lock()
-	defer conn.wm.Unlock()
-	if _, err := conn.c.Write(hdr); err != nil {
-		return fmt.Errorf("mpi: tcp send to %d: %w", dst, err)
-	}
-	if len(env.data) > 0 {
-		if _, err := conn.c.Write(env.data); err != nil {
+	err := tt.writeFrame(conn, hdr, env.data)
+	conn.wm.Unlock()
+	if err != nil {
+		if tt.isClosed() {
 			return fmt.Errorf("mpi: tcp send to %d: %w", dst, err)
+		}
+		// A failed or timed-out write means the peer stopped draining its
+		// socket (or the connection reset): declare it dead so the sender
+		// gets a typed, actionable error instead of a poisoned world.
+		tt.eng.notifyDeath(dst, fmt.Errorf("tcp send: %w", err))
+		conn.c.Close()
+		return ErrRankDead{Rank: dst, Cause: err}
+	}
+	return nil
+}
+
+// writeFrame writes one frame under the caller-held write mutex, with the
+// liveness timeout as write deadline.
+func (tt *tcpTransport) writeFrame(conn *tcpConn, hdr, data []byte) error {
+	conn.c.SetWriteDeadline(time.Now().Add(tt.opts.LivenessTimeout))
+	if _, err := conn.c.Write(hdr); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := conn.c.Write(data); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// heartbeatLoop keeps every connection warm so the peers' liveness
+// deadlines only fire on genuine silence. It runs independently of the
+// rank's compute thread — a rank deep in a diameter BFS still heartbeats.
+func (tt *tcpTransport) heartbeatLoop() {
+	ticker := time.NewTicker(tt.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	hdr := make([]byte, tcpFrameHeader)
+	binary.LittleEndian.PutUint32(hdr[12:], heartbeatTagWire)
+	for {
+		select {
+		case <-tt.stopHB:
+			return
+		case <-ticker.C:
+		}
+		for peer, c := range tt.conns {
+			if c == nil || peer == tt.self {
+				continue
+			}
+			c.wm.Lock()
+			// Errors are ignored: the readLoop (or the next data write)
+			// owns failure detection for this connection.
+			tt.writeFrame(c, hdr, nil)
+			c.wm.Unlock()
+		}
+	}
 }
 
 func (tt *tcpTransport) close() error {
@@ -76,9 +185,12 @@ func (tt *tcpTransport) close() error {
 		return nil
 	}
 	tt.closed = true
+	started := tt.started
 	tt.mu.Unlock()
-	// Announce graceful shutdown to every peer, then close. Errors are
-	// ignored: the peer may already be gone.
+	close(tt.stopHB)
+	// Announce graceful shutdown to every peer, wait briefly for theirs
+	// (so no socket is closed while the peer is still reading from it),
+	// then tear down. Errors are ignored: the peer may already be gone.
 	hdr := make([]byte, tcpFrameHeader)
 	binary.LittleEndian.PutUint32(hdr[12:], goodbyeTagWire)
 	for _, c := range tt.conns {
@@ -86,44 +198,105 @@ func (tt *tcpTransport) close() error {
 			continue
 		}
 		c.wm.Lock()
-		c.c.Write(hdr)
+		tt.writeFrame(c, hdr, nil)
 		c.wm.Unlock()
-		c.c.Close()
+	}
+	if started {
+		deadline := time.After(closeGrace)
+		for _, c := range tt.conns {
+			if c == nil {
+				continue
+			}
+			select {
+			case <-c.sawBye:
+			case <-deadline:
+			}
+		}
+	}
+	for _, c := range tt.conns {
+		if c != nil {
+			c.c.Close()
+		}
 	}
 	return nil
 }
 
+// abort tears the mesh down with no goodbye: peers observe a reset and
+// declare this rank dead. The local engine is poisoned so this rank's own
+// in-flight operations fail promptly.
+func (tt *tcpTransport) abort() {
+	tt.mu.Lock()
+	if tt.closed {
+		tt.mu.Unlock()
+		return
+	}
+	tt.closed = true
+	tt.mu.Unlock()
+	close(tt.stopHB)
+	for _, c := range tt.conns {
+		if c != nil {
+			c.c.Close()
+		}
+	}
+	tt.eng.fail(errAborted)
+}
+
 // readLoop pumps frames from one peer into the engine until the connection
-// dies. A connection lost without a goodbye frame poisons the engine
-// (fail-stop); a goodbye-then-EOF is a clean peer shutdown.
+// dies. A connection lost without a goodbye frame — reset, EOF, or
+// liveness deadline — declares the peer dead; a goodbye-then-EOF is a
+// graceful departure, treated as a (deferred) death only if this process
+// is still running a liveness window later, so a peer that exits the run
+// early cannot hang the survivors either.
 func (tt *tcpTransport) readLoop(peer int, tc *tcpConn) {
 	conn := tc.c
 	hdr := make([]byte, tcpFrameHeader)
 	die := func(err error) {
-		tt.mu.Lock()
-		closed := tt.closed
-		tt.mu.Unlock()
-		if !closed && !tc.goodbye {
-			tt.eng.fail(fmt.Errorf("mpi: connection to rank %d lost: %w", peer, err))
+		tc.markBye()
+		if tt.isClosed() {
+			return
 		}
+		if tc.goodbye {
+			return // deferred timer armed at goodbye time handles it
+		}
+		tt.eng.notifyDeath(peer, fmt.Errorf("connection lost: %w", err))
+		conn.Close()
 	}
+	// During mesh formation the peers may lag by up to the dial timeout
+	// before their first heartbeat; afterwards, silence past the liveness
+	// timeout is death.
+	deadline := tt.opts.DialTimeout + tt.opts.LivenessTimeout
 	for {
+		conn.SetReadDeadline(time.Now().Add(deadline))
 		if _, err := io.ReadFull(conn, hdr); err != nil {
 			die(err)
 			return
 		}
+		deadline = tt.opts.LivenessTimeout
 		env := envelope{
 			ctx: binary.LittleEndian.Uint64(hdr[0:]),
 			src: int32(binary.LittleEndian.Uint32(hdr[8:])),
 			tag: int32(binary.LittleEndian.Uint32(hdr[12:])),
 		}
+		if env.tag == heartbeatTag {
+			continue
+		}
 		if env.tag == goodbyeTag {
 			tc.goodbye = true
+			tc.markBye()
+			// The peer finished its run. If this process is still working
+			// a liveness window later, the departure is for all purposes a
+			// death: collectives involving the peer can never complete.
+			time.AfterFunc(tt.opts.LivenessTimeout, func() {
+				if !tt.isClosed() {
+					tt.eng.notifyDeath(peer, fmt.Errorf("peer departed"))
+				}
+			})
 			continue
 		}
 		n := binary.LittleEndian.Uint32(hdr[16:])
 		if n > 0 {
 			env.data = make([]byte, n)
+			conn.SetReadDeadline(time.Now().Add(tt.opts.LivenessTimeout))
 			if _, err := io.ReadFull(conn, env.data); err != nil {
 				die(err)
 				return
@@ -133,21 +306,52 @@ func (tt *tcpTransport) readLoop(peer int, tc *tcpConn) {
 	}
 }
 
-// ConnectTCP joins a TCP world. addrs lists the listen address of every
-// rank, in rank order; rank is this process's position. The function
-// listens on addrs[rank], dials every lower rank, accepts connections from
-// every higher rank, and returns the world communicator once the mesh is
-// complete. Close the returned closer to tear the world down.
+// TCPWorld is this rank's handle on a TCP mesh. Close performs a graceful
+// shutdown (goodbye handshake with every peer); Abort tears the
+// connections down with no goodbye, so peers observe this rank as dead
+// within their detection window — the fault-injection hook for
+// kill-a-rank tests and emergency exits.
+type TCPWorld struct {
+	tt *tcpTransport
+}
+
+// Close shuts the mesh down gracefully. Safe to call more than once.
+func (w *TCPWorld) Close() error { return w.tt.close() }
+
+// Abort hard-closes every connection without a goodbye and poisons the
+// local engine. Peers detect the reset (or, under a partition, the
+// heartbeat silence) and declare this rank dead.
+func (w *TCPWorld) Abort() { w.tt.abort() }
+
+// ConnectTCP joins a TCP world with default liveness options. addrs lists
+// the listen address of every rank, in rank order; rank is this process's
+// position. See ConnectTCPOpts.
+func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*Comm, *TCPWorld, error) {
+	return ConnectTCPOpts(rank, addrs, TCPOptions{DialTimeout: timeout})
+}
+
+// ConnectTCPOpts joins a TCP world. The function listens on addrs[rank],
+// dials every lower rank, accepts connections from every higher rank, and
+// returns the world communicator once the mesh is complete. Close the
+// returned world to tear it down.
 //
 // The handshake is a single uint32 carrying the dialer's rank. Dial
-// attempts retry until timeout elapses, so ranks may start in any order.
-func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*Comm, io.Closer, error) {
+// attempts retry until the dial timeout elapses, so ranks may start in
+// any order.
+func ConnectTCPOpts(rank int, addrs []string, opts TCPOptions) (*Comm, *TCPWorld, error) {
+	opts = opts.withDefaults()
 	p := len(addrs)
 	if rank < 0 || rank >= p {
 		return nil, nil, fmt.Errorf("mpi: rank %d out of range for %d addrs", rank, p)
 	}
 	eng := newEngine(rank)
-	tt := &tcpTransport{self: rank, conns: make([]*tcpConn, p), eng: eng}
+	tt := &tcpTransport{
+		self:   rank,
+		conns:  make([]*tcpConn, p),
+		eng:    eng,
+		opts:   opts,
+		stopHB: make(chan struct{}),
+	}
 	eng.tr = tt
 
 	ln, err := net.Listen("tcp", addrs[rank])
@@ -156,7 +360,7 @@ func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*Comm, io.Clos
 	}
 	defer ln.Close()
 
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(opts.DialTimeout)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -197,7 +401,7 @@ func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*Comm, io.Clos
 				tc.SetNoDelay(true)
 			}
 			mu.Lock()
-			tt.conns[peer] = &tcpConn{c: conn}
+			tt.conns[peer] = &tcpConn{c: conn, sawBye: make(chan struct{})}
 			mu.Unlock()
 		}(peer)
 	}
@@ -231,7 +435,7 @@ func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*Comm, io.Clos
 				tc.SetNoDelay(true)
 			}
 			mu.Lock()
-			tt.conns[peer] = &tcpConn{c: conn}
+			tt.conns[peer] = &tcpConn{c: conn, sawBye: make(chan struct{})}
 			mu.Unlock()
 		}
 	}()
@@ -240,19 +444,19 @@ func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*Comm, io.Clos
 		tt.close()
 		return nil, nil, firstErr
 	}
+	tt.mu.Lock()
+	tt.started = true
+	tt.mu.Unlock()
 	for peer, c := range tt.conns {
 		if peer != rank && c != nil {
 			go tt.readLoop(peer, c)
 		}
 	}
+	go tt.heartbeatLoop()
 	glob := make([]int, p)
 	for i := range glob {
 		glob[i] = i
 	}
 	comm := &Comm{eng: eng, ctx: 0, rank: rank, glob: glob}
-	return comm, closerFunc(tt.close), nil
+	return comm, &TCPWorld{tt: tt}, nil
 }
-
-type closerFunc func() error
-
-func (f closerFunc) Close() error { return f() }

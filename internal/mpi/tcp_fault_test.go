@@ -1,0 +1,197 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shortLiveness makes failure detection fast enough for tests without
+// tripping on scheduler noise.
+func shortLiveness() TCPOptions {
+	return TCPOptions{
+		DialTimeout:       2 * time.Second,
+		HeartbeatInterval: 25 * time.Millisecond,
+		LivenessTimeout:   500 * time.Millisecond,
+	}
+}
+
+// TestTCPSilentPeerDetected is the regression for the latent hang this PR
+// fixes: before per-connection read deadlines and heartbeats, a peer that
+// completed the mesh handshake and then went silent (a wedged process, a
+// dropped link with no RST) left every blocking receive waiting forever.
+// Now the receive must fail with ErrRankDead within the detection window.
+func TestTCPSilentPeerDetected(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opts := shortLiveness()
+
+	// The "peer": dials rank 0, says hello as rank 1, then never sends
+	// another byte — no heartbeats, no goodbye, connection held open.
+	silent := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var conn net.Conn
+		var err error
+		deadline := time.Now().Add(opts.DialTimeout)
+		for {
+			conn, err = net.Dial("tcp", addrs[0])
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Error(err)
+				close(silent)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var hello [4]byte
+		binary.LittleEndian.PutUint32(hello[:], 1)
+		conn.Write(hello[:])
+		<-silent
+		conn.Close()
+	}()
+
+	comm, world, err := ConnectTCPOpts(0, addrs, opts)
+	if err != nil {
+		close(silent)
+		t.Fatal(err)
+	}
+	defer world.Abort()
+
+	start := time.Now()
+	_, rerr := comm.Recv(1, 7)
+	detect := time.Since(start)
+	if rerr == nil {
+		t.Fatal("receive from a silent peer succeeded")
+	}
+	rd, ok := AsRankDead(rerr)
+	if !ok || rd.Rank != 1 {
+		t.Fatalf("want ErrRankDead{1}, got %v", rerr)
+	}
+	// First-frame detection tolerates mesh-formation skew, so the window is
+	// DialTimeout + LivenessTimeout; anything near-unbounded is the old hang.
+	if limit := opts.DialTimeout + opts.LivenessTimeout + 2*time.Second; detect > limit {
+		t.Fatalf("detection took %v, want < %v", detect, limit)
+	}
+	close(silent)
+	wg.Wait()
+}
+
+// TestTCPAbortDuringReduce pins the liveness-timeout-concurrent-with-
+// epoch-reduce interleaving under -race: one rank hard-aborts while the
+// others are mid-collective. Survivors must observe ErrRankDead — not a
+// hang, not a torn frame.
+func TestTCPAbortDuringReduce(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	opts := shortLiveness()
+	merge := func(acc, src []byte) ([]byte, error) {
+		for i := range src {
+			if i < len(acc) {
+				acc[i] += src[i]
+			} else {
+				acc = append(acc, src[i])
+			}
+		}
+		return acc, nil
+	}
+
+	errs := make([]error, 3)
+	// Survivors must not tear down their world the moment they observe the
+	// death: the first detector aborting would reset its connections and
+	// make the slower survivor blame *it* instead of rank 2. Each survivor
+	// signals detection and holds its world open until the other has
+	// detected too.
+	detected := [2]chan struct{}{make(chan struct{}), make(chan struct{})}
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, world, err := ConnectTCPOpts(r, addrs, opts)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if r == 2 {
+				// A couple of healthy rounds, then die mid-mesh.
+				for i := 0; i < 2; i++ {
+					if _, err := comm.ReduceMerge(0, []byte{1, 2, 3}, merge); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+				world.Abort()
+				errs[r] = ErrKilled
+				return
+			}
+			defer world.Abort()
+			for {
+				if _, err := comm.ReduceMerge(0, []byte{1, 2, 3}, merge); err != nil {
+					errs[r] = err
+					close(detected[r])
+					<-detected[1-r]
+					return
+				}
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("reduce against an aborted rank hangs")
+	}
+	for r := 0; r < 2; r++ {
+		if rd, ok := AsRankDead(errs[r]); !ok || rd.Rank != 2 {
+			t.Fatalf("rank %d: want ErrRankDead{2}, got %v", r, errs[r])
+		}
+	}
+}
+
+// TestTCPGracefulCloseStaysClean guards the other side of the liveness
+// coin: a *graceful* close must never be mistaken for a death. A two-rank
+// world runs a collective and closes; no error may surface even though the
+// liveness machinery is armed with aggressive timeouts.
+func TestTCPGracefulCloseStaysClean(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opts := shortLiveness()
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, world, err := ConnectTCPOpts(r, addrs, opts)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if err := comm.Barrier(); err != nil {
+				errs[r] = err
+				world.Abort()
+				return
+			}
+			// Sit past several heartbeat intervals to prove the idle mesh
+			// stays alive, then part ways cleanly.
+			time.Sleep(4 * opts.HeartbeatInterval)
+			if err := comm.Barrier(); err != nil {
+				errs[r] = err
+				world.Abort()
+				return
+			}
+			errs[r] = world.Close()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}

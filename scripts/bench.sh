@@ -37,6 +37,13 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^BenchmarkEstimate$' -benchtime "$benchtime" \
     -count "$count" -timeout 30m . | tee "$raw"
 
+# The degraded tier: distributed sampling throughput with one of three
+# ranks killed at ~50% progress, completed through the
+# shrink-and-recalibrate recovery protocol — tracks the cost of surviving
+# a failure, not just the healthy path.
+go test -run '^$' -bench '^BenchmarkEstimateDegraded$' -benchtime "$benchtime" \
+    -count "$count" -timeout 30m . | tee -a "$raw"
+
 # The service tier: end-to-end session throughput and live status-poll
 # latency against an in-process betweennessd (internal/server).
 go test -run '^$' -bench '^BenchmarkServer' -benchtime "$benchtime" \
@@ -57,6 +64,16 @@ function metrics(line,    i, unit) {
     return line "}"
 }
 BEGIN { print "[" ; n = 0 }
+/^BenchmarkEstimateDegraded\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    split(name, parts, "/")
+    line = sprintf("  {\"name\": \"%s\", \"workload\": \"%s\", \"backend\": \"%s\", \"tier\": \"dist-degraded\", \"benchtime\": \"%s\", \"iterations\": %s", \
+                   name, parts[2], parts[3], benchtime, $2)
+    if (n++) print ","
+    printf "%s", metrics(line)
+    next
+}
 /^BenchmarkEstimate\// {
     name = $1
     sub(/-[0-9]+$/, "", name)            # strip the GOMAXPROCS suffix
