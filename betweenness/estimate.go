@@ -117,7 +117,7 @@ func checkSize(n int, s settings) error {
 // surface.
 func runEstimate(ctx context.Context, s settings, exec func(context.Context) (*Result, error)) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //bc:ctxok nil-ctx guard at the public front door
 	}
 	res, err := exec(ctx)
 	if err != nil {

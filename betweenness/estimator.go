@@ -178,7 +178,7 @@ func (e *Estimator) Run(ctx context.Context) (*Result, error) {
 
 func (e *Estimator) runLocked(ctx context.Context) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //bc:ctxok nil-ctx guard at the public front door
 	}
 	if e.st == nil {
 		return e.runOneShot(ctx)

@@ -46,10 +46,30 @@ func (k WorkloadKind) String() string {
 // Capabilities do not list that kind; test with errors.Is.
 var ErrUnsupportedWorkload = errors.New("betweenness: unsupported workload")
 
-// unsupportedWorkload builds the typed dispatch error: it wraps
-// ErrUnsupportedWorkload and names both the backend and the workload kind.
+// UnsupportedWorkloadError is the concrete dispatch error: it names the
+// backend and the workload kind as fields (extract with errors.As) and
+// matches ErrUnsupportedWorkload under errors.Is, so callers never have
+// to parse the message text.
+type UnsupportedWorkloadError struct {
+	// Backend is the executor's Name().
+	Backend string
+	// Kind is the workload kind the backend cannot run.
+	Kind WorkloadKind
+}
+
+func (e *UnsupportedWorkloadError) Error() string {
+	return fmt.Sprintf("%s: backend %q cannot run the %s workload", ErrUnsupportedWorkload, e.Backend, e.Kind)
+}
+
+// Is makes errors.Is(err, ErrUnsupportedWorkload) hold for the typed
+// error.
+func (e *UnsupportedWorkloadError) Is(target error) bool {
+	return target == ErrUnsupportedWorkload
+}
+
+// unsupportedWorkload builds the typed dispatch error.
 func unsupportedWorkload(backend string, kind WorkloadKind) error {
-	return fmt.Errorf("%w: backend %q cannot run the %s workload", ErrUnsupportedWorkload, backend, kind)
+	return &UnsupportedWorkloadError{Backend: backend, Kind: kind}
 }
 
 // Workload is a tagged estimation scenario over a fixed graph: the paper's

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"net"
-	"strings"
 	"sync"
 	"testing"
 )
@@ -111,8 +110,11 @@ func TestUnsupportedWorkloadTypedError(t *testing.T) {
 			t.Errorf("%s: err = %v, want errors.Is(..., ErrUnsupportedWorkload)", tc.kind, err)
 			continue
 		}
-		if !strings.Contains(err.Error(), "undirected-only") || !strings.Contains(err.Error(), tc.kind) {
-			t.Errorf("%s: error %q does not name the backend and the kind", tc.kind, err)
+		var ue *UnsupportedWorkloadError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: error %q is not an *UnsupportedWorkloadError", tc.kind, err)
+		} else if ue.Backend != "undirected-only" || ue.Kind.String() != tc.kind {
+			t.Errorf("%s: error names backend %q kind %s, want undirected-only/%s", tc.kind, ue.Backend, ue.Kind, tc.kind)
 		}
 	}
 	// The undirected workload still dispatches fine on the narrow backend.

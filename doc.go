@@ -91,4 +91,17 @@
 // checkpoint-backed durability — SIGTERM drains running sessions into their
 // checkpoint files and a restart resumes them without losing samples. See
 // internal/server and the README's "Running as a service" section.
+//
+// # Static analysis
+//
+// The invariants the sections above rely on — allocation-free sampling
+// kernels, the sparse-frame write protocol, typed fault handling, threaded
+// cancellation, and the public-API layering — are machine-enforced by a
+// repo-specific analyzer suite under internal/analysis (epochframe,
+// hotpathalloc, rankdead, ctxleak, layerimport), built and run by CI over
+// the whole tree via cmd/repolint, a `go vet -vettool` multichecker.
+// Hot functions are annotated //bc:hotpath; a deliberate root context is
+// justified in place with //bc:ctxok <reason>. Run scripts/lint.sh (or
+// `go run ./cmd/repolint ./...`) locally; the tree must come out clean.
+// See the README's "Static analysis" section for the invariant catalogue.
 package repro

@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/framework"
+)
+
+// TestTreeIsClean is the meta-invariant: the repository's own tree must
+// produce zero diagnostics under the full suite — the same gate CI's
+// analyze job applies via cmd/repolint. A finding here means either a
+// real violation crept in or an analyzer grew a false positive; both are
+// failures of this PR's contract.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module; skipped in -short")
+	}
+	units, err := framework.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	findings, err := framework.Analyze(units, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,61 @@
+// Package ctxleak enforces the PR 1 context invariant: cancellation
+// threads from the public front door. A library package that conjures its
+// own root context with context.Background() or context.TODO() detaches
+// everything below it from the caller's deadline and SIGINT handling —
+// the bug class that made distributed runs unkillable before the epoch
+// cancellation gossip existed.
+//
+// In scope is every non-main package; _test.go files are exempt (tests
+// are their own front door). The rare deliberate root — a nil-ctx guard
+// at the public entry point, a server's detached run context — is
+// suppressed with a //bc:ctxok <reason> directive on the call's line or
+// the line above, which doubles as the required justification comment.
+package ctxleak
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/framework"
+)
+
+// Directive suppresses a finding at a deliberate root-context site.
+const Directive = "ctxok"
+
+// Analyzer is the ctxleak pass.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxleak",
+	Doc:  "flags context.Background()/TODO() in library packages; thread ctx from the front door or justify with //bc:ctxok",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil // binaries are the front door
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := ""
+			switch {
+			case pass.IsPkgCall(call, "context", "Background"):
+				name = "Background"
+			case pass.IsPkgCall(call, "context", "TODO"):
+				name = "TODO"
+			default:
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			if pass.SuppressedAt(f, call.Pos(), Directive) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "context.%s() in a library package detaches callees from the caller's cancellation; thread ctx from the front door (or justify with //bc:ctxok <reason>)", name)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,17 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxleak"
+)
+
+func TestCtxLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxleak.Analyzer, "ctxleakuser")
+}
+
+// TestMainExempt: binaries are the front door; nothing is flagged there.
+func TestMainExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxleak.Analyzer, "ctxleakmain")
+}

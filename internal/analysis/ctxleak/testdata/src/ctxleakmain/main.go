@@ -1,0 +1,11 @@
+// Command ctxleakmain is a binary: main packages are the front door and
+// may create root contexts freely.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = context.TODO()
+	_ = ctx
+}

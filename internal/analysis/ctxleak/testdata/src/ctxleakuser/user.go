@@ -1,0 +1,29 @@
+// Package ctxleakuser is a library package: conjured root contexts are
+// flagged unless justified with //bc:ctxok.
+package ctxleakuser
+
+import "context"
+
+func conjure() context.Context {
+	ctx := context.Background() // want `context\.Background\(\) in a library package detaches callees`
+	_ = context.TODO()          // want `context\.TODO\(\) in a library package detaches callees`
+	return ctx
+}
+
+// nilGuard shows both suppression placements: on the call's line, and on
+// the line above.
+func nilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() //bc:ctxok nil-ctx guard at the public front door
+	}
+	if ctx == nil {
+		//bc:ctxok second placement: directive on the line above
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// threaded is the sanctioned shape: ctx arrives from the caller.
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

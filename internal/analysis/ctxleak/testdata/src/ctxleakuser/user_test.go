@@ -1,0 +1,8 @@
+package ctxleakuser
+
+import "context"
+
+// Tests are their own front door: _test.go files are exempt.
+func testHelper() context.Context {
+	return context.Background()
+}

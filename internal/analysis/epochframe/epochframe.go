@@ -1,0 +1,107 @@
+// Package epochframe enforces the PR 4 state-frame invariant: outside
+// internal/epoch, the counts slice C of an epoch.StateFrame is read-only.
+// All mutation must go through Bump/AddCount/Add/Reset so the sparse
+// touched-vertex bookkeeping stays consistent — a direct write silently
+// desynchronizes the touched list and corrupts every O(touched) aggregate,
+// reset, and wire encoding built on it.
+//
+// Flagged constructs (in any package other than internal/epoch):
+//
+//   - element writes:        sf.C[v] = x, sf.C[v] += x, sf.C[v]++
+//   - slice reassignment:    sf.C = ..., including sf.C = append(sf.C, ...)
+//   - append through C:      append(sf.C, ...) in any position
+//   - builtin mutation:      copy(sf.C, ...), clear(sf.C)
+//   - aliasing escape:       &sf.C
+//
+// Reads (sf.C[v], range sf.C, len/cap, passing sf.C to a function) are
+// legal and not flagged; the analyzer cannot follow aliases, so a write
+// through a copied slice header is caught only at its &sf.C or sf.C =
+// origin.
+package epochframe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+const epochPath = "repro/internal/epoch"
+
+// Analyzer is the epochframe pass.
+var Analyzer = &framework.Analyzer{
+	Name: "epochframe",
+	Doc:  "flags writes to epoch.StateFrame.C outside internal/epoch (use Bump/AddCount/Add/Reset)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == epochPath {
+		return nil, nil // the frame implementation owns its representation
+	}
+	pass.WalkStack(func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWriteTarget(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWriteTarget(pass, n.X)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" && isFrameCounts(pass, n.X) {
+				pass.Reportf(n.Pos(), "taking the address of StateFrame.C aliases the counts slice; mutate via Bump/AddCount instead")
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkWriteTarget flags lhs when it is StateFrame.C itself or an element
+// of it.
+func checkWriteTarget(pass *framework.Pass, lhs ast.Expr) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if isFrameCounts(pass, lhs.X) {
+			pass.Reportf(lhs.Pos(), "direct write to StateFrame.C element; use Bump/AddCount so the touched-vertex list stays consistent")
+		}
+	case *ast.SelectorExpr:
+		if isFrameCounts(pass, lhs) {
+			pass.Reportf(lhs.Pos(), "reassignment of StateFrame.C; the counts slice is owned by internal/epoch")
+		}
+	}
+}
+
+// checkCall flags builtin calls that mutate the counts slice.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	switch id.Name {
+	case "append":
+		if len(call.Args) > 0 && isFrameCounts(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "append through StateFrame.C; the counts slice is owned by internal/epoch")
+		}
+	case "copy", "clear":
+		if len(call.Args) > 0 && isFrameCounts(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "%s into StateFrame.C mutates the counts behind the touched-vertex list; use Bump/AddCount", id.Name)
+		}
+	}
+}
+
+// isFrameCounts reports whether e selects the field C of an
+// epoch.StateFrame value or pointer.
+func isFrameCounts(pass *framework.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "C" {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return framework.IsNamed(s.Recv(), epochPath, "StateFrame")
+}

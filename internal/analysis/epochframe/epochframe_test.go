@@ -1,0 +1,19 @@
+package epochframe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochframe"
+)
+
+func TestEpochFrame(t *testing.T) {
+	analysistest.Run(t, "testdata", epochframe.Analyzer, "epochframe")
+}
+
+// TestInsideEpochPackageExempt runs the analyzer over the stub epoch
+// package itself, whose implementation writes C freely: zero diagnostics
+// expected (the package owns its representation).
+func TestInsideEpochPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", epochframe.Analyzer, "repro/internal/epoch")
+}

@@ -1,0 +1,35 @@
+package epochframe
+
+import "repro/internal/epoch"
+
+// reads covers the false-positive guard: reading C is legal everywhere.
+func reads(sf *epoch.StateFrame) int64 {
+	var total int64
+	for _, c := range sf.C {
+		total += c
+	}
+	total += sf.C[0]
+	if len(sf.C) > 0 && cap(sf.C) > 0 {
+		total++
+	}
+	consume(sf.C)
+	sf.Bump(3) // mutation through the sanctioned API
+	return total
+}
+
+func consume([]int64) {}
+
+// otherC: a C field on an unrelated type is not the frame's counts.
+type otherC struct{ C []int64 }
+
+func unrelated(o *otherC) {
+	o.C[0] = 1
+	o.C = append(o.C, 2)
+}
+
+// localCopy writes through a copied header — documented as out of scope
+// (the &sf.C / sf.C = origins are where aliasing gets flagged).
+func localCopy(sf *epoch.StateFrame) {
+	c := sf.C
+	_ = c
+}

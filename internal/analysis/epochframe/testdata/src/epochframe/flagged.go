@@ -1,0 +1,29 @@
+// Package epochframe seeds every write shape the analyzer must flag.
+package epochframe
+
+import "repro/internal/epoch"
+
+func writes(sf *epoch.StateFrame) {
+	sf.C[0] = 1            // want `direct write to StateFrame.C element`
+	sf.C[1] += 2           // want `direct write to StateFrame.C element`
+	sf.C[2]++              // want `direct write to StateFrame.C element`
+	sf.C[3]--              // want `direct write to StateFrame.C element`
+	sf.C = nil             // want `reassignment of StateFrame.C`
+	sf.C = append(sf.C, 1) // want `reassignment of StateFrame.C` `append through StateFrame.C`
+	_ = append(sf.C, 2)    // want `append through StateFrame.C`
+	copy(sf.C, []int64{1}) // want `copy into StateFrame.C`
+	clear(sf.C)            // want `clear into StateFrame.C`
+	alias := &sf.C         // want `taking the address of StateFrame.C`
+	_ = alias
+	(sf.C)[4] = 9 // want `direct write to StateFrame.C element`
+}
+
+func valueFrame(sf epoch.StateFrame) {
+	sf.C[0] = 1 // want `direct write to StateFrame.C element`
+}
+
+// tauIsFine: the invariant covers only the counts slice.
+func tauIsFine(sf *epoch.StateFrame) {
+	sf.Tau++
+	sf.Tau = 7
+}

@@ -1,0 +1,27 @@
+// Package epoch is a stub of the real repro/internal/epoch at its real
+// import path, so the analyzer's type matching fires on testdata. Writes
+// to C inside this package are the implementation and must NOT be
+// flagged.
+package epoch
+
+// StateFrame mirrors the real frame's exported surface.
+type StateFrame struct {
+	Tau int64
+	C   []int64
+}
+
+// NewStateFrame returns a zeroed frame.
+func NewStateFrame(n int) *StateFrame {
+	return &StateFrame{C: make([]int64, n)}
+}
+
+// Bump increments C[v] — a legal in-package write.
+func (sf *StateFrame) Bump(v uint32) {
+	sf.C[v]++
+}
+
+// Reset zeroes the frame — legal in-package writes, including clear.
+func (sf *StateFrame) Reset() {
+	clear(sf.C)
+	sf.Tau = 0
+}

@@ -1,0 +1,41 @@
+package hotpathalloc
+
+//bc:hotpath
+func single(n int) {
+	_ = make([]int, n) // want `hotpath: make allocates`
+}
+
+// allowed exercises the pooled-buffer idioms the samplers rely on:
+// feeding a slice back into itself and appending onto a reslice are the
+// steady-state-free forms and must pass.
+//
+//bc:hotpath
+func (s *sampler) allowed(vs []int, bs []byte) {
+	s.buf = s.buf[:0]
+	for _, v := range vs {
+		s.buf = append(s.buf, v)
+	}
+	s.out = append(s.out[:0], bs...)
+	local := s.buf[:0]
+	local = append(local, 1)
+	local = append((local), 2)
+	_ = local
+	s.name = "const" + "fold" // constant-folded: no runtime concat
+	if s.buf == nil {
+		panic(s) // panic boxing is exempt: cold path by definition
+	}
+}
+
+// passThrough: interface-to-interface and nil arguments don't box, and
+// spreading a slice into a variadic interface parameter passes the slice
+// header through unboxed.
+//
+//bc:hotpath
+func passThrough(o observer, vs []interface{}) {
+	sink(o)
+	sink(nil)
+	sinks(vs...)
+}
+
+func sink(interface{})     {}
+func sinks(...interface{}) {}

@@ -1,0 +1,51 @@
+// Package hotpathalloc seeds the allocation constructs the analyzer must
+// flag inside annotated functions — and only there.
+package hotpathalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type sampler struct {
+	buf  []int
+	out  []byte
+	name string
+}
+
+type observer interface{ observe(int) }
+
+// hot is annotated via the doc comment.
+//
+//bc:hotpath
+func (s *sampler) hot(o observer, n int, bs []byte) {
+	_ = make([]int, n) // want `hotpath: make allocates`
+	_ = new(sampler)   // want `hotpath: new allocates`
+	_ = []int{1, 2}    // want `hotpath: slice literal allocates`
+	_ = map[int]int{}  // want `hotpath: map literal allocates`
+	_ = &sampler{}     // want `hotpath: &composite literal allocates`
+	f := func() {}     // want `hotpath: func literal may heap-allocate`
+	f()
+	go s.cold()              // want `hotpath: go statement allocates`
+	_ = fmt.Sprintf("%d", n) // want `hotpath: fmt.Sprintf allocates` "boxes the value"
+	_ = errors.New("x")      // want `hotpath: errors.New allocates`
+	_ = s.name + "y"         // want `hotpath: non-constant string concatenation allocates`
+	_ = string(bs)           // want `hotpath: string conversion copies and allocates`
+	_ = []byte(s.name)       // want `conversion copies and allocates`
+	other := s.buf
+	other = append(s.buf, n) // want `append that does not feed its own slice back`
+	_ = append(other, n)     // want `append that does not feed its own slice back`
+	o.observe(n)
+	boxes(n) // want `hotpath: passing int to an interface parameter boxes the value`
+}
+
+func boxes(v interface{}) { _ = v }
+
+// cold has no directive: identical constructs pass unflagged.
+func (s *sampler) cold() {
+	_ = make([]int, 4)
+	_ = fmt.Sprintf("%d", 1)
+	_ = []int{1}
+	f := func() {}
+	f()
+}

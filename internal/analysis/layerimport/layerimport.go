@@ -1,0 +1,74 @@
+// Package layerimport enforces the repo's layering, which exists only by
+// convention since PR 1 rewired the binaries onto the public packages:
+//
+//   - cmd/ and examples/ speak the public API. Importing internal/kadabra
+//     or internal/core directly bypasses the workload validation, option
+//     defaulting, and error normalization the betweenness front door
+//     performs, and resurrects the pre-PR-1 coupling.
+//   - internal/epoch and internal/rng are leaf utilities consumed by the
+//     engines. internal/epoch may import internal/rng; neither may import
+//     any other repro package — an upward import would cycle the sparse-
+//     frame/engine dependency the wire format is built on.
+//
+// Test files are held to the same rules: a test reaching upward from a
+// leaf package creates the same cycle pressure as library code.
+package layerimport
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the layerimport pass.
+var Analyzer = &framework.Analyzer{
+	Name: "layerimport",
+	Doc:  "flags cmd/examples importing internal/{kadabra,core} and upward imports from internal/{epoch,rng}",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	switch {
+	case strings.HasPrefix(path, "repro/cmd/"), strings.HasPrefix(path, "repro/examples/"):
+		checkImports(pass, func(imp string) string {
+			if imp == "repro/internal/kadabra" || imp == "repro/internal/core" ||
+				strings.HasPrefix(imp, "repro/internal/kadabra/") || strings.HasPrefix(imp, "repro/internal/core/") {
+				return "use the public betweenness/graph packages; the front door owns validation and option defaulting"
+			}
+			return ""
+		})
+	case path == "repro/internal/epoch":
+		checkImports(pass, func(imp string) string {
+			if strings.HasPrefix(imp, "repro/") && imp != "repro/internal/rng" {
+				return "internal/epoch is a leaf below the engines; only repro/internal/rng may be imported"
+			}
+			return ""
+		})
+	case path == "repro/internal/rng":
+		checkImports(pass, func(imp string) string {
+			if strings.HasPrefix(imp, "repro/") {
+				return "internal/rng is a leaf; it may not import other repro packages"
+			}
+			return ""
+		})
+	}
+	return nil, nil
+}
+
+// checkImports applies rule to every import path of the unit and reports
+// on the offending ImportSpec.
+func checkImports(pass *framework.Pass, rule func(imp string) string) {
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			imp, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why := rule(imp); why != "" {
+				pass.Reportf(spec.Pos(), "layering violation: %s imports %s; %s", pass.Pkg.Path(), imp, why)
+			}
+		}
+	}
+}

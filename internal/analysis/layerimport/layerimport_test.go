@@ -1,0 +1,24 @@
+package layerimport_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/layerimport"
+)
+
+func TestCmdAndExamples(t *testing.T) {
+	analysistest.Run(t, "testdata", layerimport.Analyzer,
+		"repro/cmd/app", "repro/examples/demo")
+}
+
+func TestLeafPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", layerimport.Analyzer,
+		"repro/internal/epoch", "repro/internal/rng")
+}
+
+// TestEngineClean: the engine stubs themselves carry no layering rules.
+func TestEngineClean(t *testing.T) {
+	analysistest.Run(t, "testdata", layerimport.Analyzer,
+		"repro/internal/kadabra", "repro/internal/core")
+}

@@ -1,0 +1,15 @@
+// Command app reaches past the public API into the engine layers.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"    // want `layering violation: repro/cmd/app imports repro/internal/core; use the public betweenness/graph packages`
+	"repro/internal/kadabra" // want `layering violation: repro/cmd/app imports repro/internal/kadabra`
+)
+
+func main() {
+	fmt.Println("app")
+	core.Go()
+	kadabra.Run()
+}

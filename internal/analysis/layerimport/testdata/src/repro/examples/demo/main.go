@@ -1,0 +1,7 @@
+// Command demo imports a core subpackage: the prefix rule fires on
+// subpaths, not just the package root.
+package main
+
+import "repro/internal/core/sub" // want `layering violation: repro/examples/demo imports repro/internal/core/sub`
+
+func main() { sub.Do() }

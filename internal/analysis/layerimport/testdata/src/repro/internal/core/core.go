@@ -1,0 +1,5 @@
+// Package core stubs the distributed runtime.
+package core
+
+// Go is a placeholder.
+func Go() {}

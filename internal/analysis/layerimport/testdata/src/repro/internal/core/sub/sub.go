@@ -1,0 +1,5 @@
+// Package sub stubs a subpackage of core: the prefix rule covers it too.
+package sub
+
+// Do is a placeholder.
+func Do() {}

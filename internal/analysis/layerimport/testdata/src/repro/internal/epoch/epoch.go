@@ -1,0 +1,19 @@
+// Package epoch may import internal/rng and nothing else from repro.
+package epoch
+
+import (
+	"sync"
+
+	"repro/internal/core"    // want `layering violation: repro/internal/epoch imports repro/internal/core; internal/epoch is a leaf below the engines`
+	"repro/internal/kadabra" // want `layering violation: repro/internal/epoch imports repro/internal/kadabra`
+	"repro/internal/rng"     // the one sanctioned repro import: no diagnostic
+)
+
+// Tick is a placeholder exercising all three imports.
+func Tick(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	core.Go()
+	kadabra.Run()
+	_ = rng.Next(1)
+}

@@ -1,0 +1,6 @@
+// Package kadabra stubs the engine package: a legal import target for
+// the engines, off-limits to cmd/ and examples/.
+package kadabra
+
+// Run is a placeholder engine entry point.
+func Run() {}

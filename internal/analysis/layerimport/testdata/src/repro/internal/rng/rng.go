@@ -1,0 +1,14 @@
+// Package rng is a leaf: any repro import from here is upward.
+package rng
+
+import (
+	"math/bits"
+
+	"repro/internal/core" // want `layering violation: repro/internal/rng imports repro/internal/core; internal/rng is a leaf`
+)
+
+// Next is a placeholder.
+func Next(x uint64) uint64 {
+	core.Go()
+	return bits.RotateLeft64(x, 7)
+}

@@ -1,0 +1,29 @@
+package rankdead_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rankdead"
+)
+
+func TestRankDead(t *testing.T) {
+	analysistest.Run(t, "testdata", rankdead.Analyzer, "rankdeaduser")
+}
+
+// TestScopePrefix: a package under repro/internal/core is in scope by
+// path alone, without importing mpi.
+func TestScopePrefix(t *testing.T) {
+	analysistest.Run(t, "testdata", rankdead.Analyzer, "repro/internal/core")
+}
+
+// TestOutOfScope: the same constructs outside the scope produce nothing.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", rankdead.Analyzer, "rankdeadclean")
+}
+
+// TestMpiStubClean: the mpi package itself (in scope by path) is clean —
+// its Is method's == against the sentinel is the protocol exemption.
+func TestMpiStubClean(t *testing.T) {
+	analysistest.Run(t, "testdata", rankdead.Analyzer, "repro/internal/mpi")
+}

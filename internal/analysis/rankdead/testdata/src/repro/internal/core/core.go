@@ -1,0 +1,7 @@
+// Package core sits under a scope prefix without importing mpi: the
+// path rule alone pulls it in.
+package core
+
+func compare(a, b error) bool {
+	return a == b // want `comparing errors with == misses wrapped transport errors`
+}

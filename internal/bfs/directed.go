@@ -48,6 +48,8 @@ func NewDirectedSampler(g *graph.Digraph, r *rng.Rand) *DirectedSampler {
 }
 
 // Sample draws a uniform pair (s, t) and a uniform shortest s->t path.
+//
+//bc:hotpath
 func (sp *DirectedSampler) Sample() (internal []graph.Node, ok bool) {
 	n := sp.g.NumNodes()
 	s := graph.Node(sp.rng.Intn(n))
@@ -60,6 +62,8 @@ func (sp *DirectedSampler) Sample() (internal []graph.Node, ok bool) {
 
 // SamplePath draws a uniform random shortest directed s->t path; ok=false
 // if t is unreachable from s.
+//
+//bc:hotpath
 func (sp *DirectedSampler) SamplePath(s, t graph.Node) (internal []graph.Node, ok bool) {
 	if s == t {
 		return nil, false
@@ -127,6 +131,8 @@ func (sp *DirectedSampler) SamplePath(s, t graph.Node) (internal []graph.Node, o
 	return sp.path, true
 }
 
+//
+//bc:hotpath
 func (sp *DirectedSampler) frontierCost(front []graph.Node, forward bool) uint64 {
 	var c uint64
 	for _, v := range front {
@@ -139,6 +145,8 @@ func (sp *DirectedSampler) frontierCost(front []graph.Node, forward bool) uint64
 	return c
 }
 
+//
+//bc:hotpath
 func (sp *DirectedSampler) expand(sSide bool) bool {
 	var front *[]graph.Node
 	var stamp, otherStamp, dist, otherDist []uint32
@@ -198,6 +206,8 @@ func (sp *DirectedSampler) expand(sSide bool) bool {
 // distS = distS(v)-1; on the t side they are out-neighbours with
 // distT = distT(v)-1 (the backward ball grew along in-arcs, so its
 // "predecessors" sit across out-arcs).
+//
+//bc:hotpath
 func (sp *DirectedSampler) walk(x, target graph.Node, toS bool) {
 	var stamp, dist []uint32
 	var sig []float64

@@ -53,6 +53,8 @@ func NewSampler(g *graph.Graph, r *rng.Rand) *Sampler {
 
 // SamplePair picks a uniform random pair (s, t), s != t. Exposed so the
 // unidirectional ablation and tests can share the pair distribution.
+//
+//bc:hotpath
 func (sp *Sampler) SamplePair() (s, t graph.Node) {
 	n := sp.g.NumNodes()
 	s = graph.Node(sp.rng.Intn(n))
@@ -69,6 +71,8 @@ func (sp *Sampler) SamplePair() (s, t graph.Node) {
 // sampler (valid until the next call), and ok=false if s and t are
 // disconnected (the sample then contributes to no vertex but still counts
 // toward tau, per KADABRA).
+//
+//bc:hotpath
 func (sp *Sampler) Sample() (internal []graph.Node, ok bool) {
 	s, t := sp.SamplePair()
 	return sp.SamplePath(s, t)
@@ -76,6 +80,8 @@ func (sp *Sampler) Sample() (internal []graph.Node, ok bool) {
 
 // SamplePath draws a uniform random shortest s-t path via balanced
 // bidirectional BFS. See Sample for the return convention.
+//
+//bc:hotpath
 func (sp *Sampler) SamplePath(s, t graph.Node) (internal []graph.Node, ok bool) {
 	if s == t {
 		return nil, false
@@ -159,6 +165,8 @@ func (sp *Sampler) SamplePath(s, t graph.Node) (internal []graph.Node, ok bool) 
 }
 
 // frontierCost estimates the work to expand a frontier: the sum of degrees.
+//
+//bc:hotpath
 func (sp *Sampler) frontierCost(front []graph.Node) uint64 {
 	var c uint64
 	for _, v := range front {
@@ -179,6 +187,8 @@ func (sp *Sampler) frontierCost(front []graph.Node) uint64 {
 // sides, so collecting new-frontier vertices carrying the t stamp and keeping
 // those minimizing distS+distT finds all meeting vertices of all shortest
 // paths. Path counts sigma are exact because BFS is level-synchronous.
+//
+//bc:hotpath
 func (sp *Sampler) expand(sSide bool) bool {
 	var front *[]graph.Node
 	var stamp, otherStamp, dist, otherDist []uint32
@@ -231,6 +241,8 @@ func (sp *Sampler) expand(sSide bool) bool {
 // side, appending internal vertices to sp.path. When toS is true it walks the
 // s side (appending before x conceptually; caller reverses), otherwise the t
 // side.
+//
+//bc:hotpath
 func (sp *Sampler) walk(x, target graph.Node, toS bool) {
 	var stamp, dist []uint32
 	var sig []float64

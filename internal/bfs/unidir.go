@@ -40,6 +40,8 @@ func NewUnidirSampler(g *graph.Graph, r *rng.Rand) *UnidirSampler {
 
 // Sample draws one sample with a uniform random pair; see Sampler.Sample for
 // the return convention.
+//
+//bc:hotpath
 func (us *UnidirSampler) Sample() (internal []graph.Node, ok bool) {
 	n := us.g.NumNodes()
 	s := graph.Node(us.rng.Intn(n))
@@ -52,6 +54,8 @@ func (us *UnidirSampler) Sample() (internal []graph.Node, ok bool) {
 
 // SamplePath draws a uniform random shortest s-t path via unidirectional
 // level-synchronous BFS with path counting.
+//
+//bc:hotpath
 func (us *UnidirSampler) SamplePath(s, t graph.Node) (internal []graph.Node, ok bool) {
 	if s == t {
 		return nil, false

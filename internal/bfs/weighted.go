@@ -51,7 +51,23 @@ func NewWeightedSampler(g *graph.WGraph, r *rng.Rand) *WeightedSampler {
 	}
 }
 
+// visit stamps v as discovered in the current Dijkstra round with
+// tentative distance d and path count sigma, and records it for the
+// backward walk. A method rather than a closure so the hot loop never
+// depends on escape analysis keeping a func literal off the heap.
+//
+//bc:hotpath
+func (ws *WeightedSampler) visit(v graph.Node, d uint64, sigma float64) {
+	ws.stamp[v] = ws.cur
+	ws.dist[v] = d
+	ws.sig[v] = sigma
+	ws.done[v] = false
+	ws.touched = append(ws.touched, v)
+}
+
 // Sample draws one sample with a uniform random pair.
+//
+//bc:hotpath
 func (ws *WeightedSampler) Sample() (internal []graph.Node, ok bool) {
 	n := ws.g.NumNodes()
 	s := graph.Node(ws.rng.Intn(n))
@@ -64,6 +80,8 @@ func (ws *WeightedSampler) Sample() (internal []graph.Node, ok bool) {
 
 // SamplePath draws a uniform random minimum-weight s-t path and returns its
 // internal vertices; ok=false if s and t are disconnected.
+//
+//bc:hotpath
 func (ws *WeightedSampler) SamplePath(s, t graph.Node) (internal []graph.Node, ok bool) {
 	if s == t {
 		return nil, false
@@ -79,14 +97,7 @@ func (ws *WeightedSampler) SamplePath(s, t graph.Node) (internal []graph.Node, o
 	ws.heap.Reset()
 	ws.touched = ws.touched[:0]
 
-	visit := func(v graph.Node, d uint64, sigma float64) {
-		ws.stamp[v] = cur
-		ws.dist[v] = d
-		ws.sig[v] = sigma
-		ws.done[v] = false
-		ws.touched = append(ws.touched, v)
-	}
-	visit(s, 0, 1)
+	ws.visit(s, 0, 1)
 	ws.heap.Push(uint32(s), 0)
 
 	found := false
@@ -102,7 +113,7 @@ func (ws *WeightedSampler) SamplePath(s, t graph.Node) (internal []graph.Node, o
 		for i, u := range adj {
 			nd := d + uint64(wts[i])
 			if ws.stamp[u] != cur {
-				visit(u, nd, ws.sig[v])
+				ws.visit(u, nd, ws.sig[v])
 				ws.heap.Push(uint32(u), nd)
 			} else if !ws.done[u] {
 				switch {

@@ -3,7 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
-	"strings"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -88,7 +88,7 @@ func TestRank0DeathCheckpointRestore(t *testing.T) {
 		}
 	}
 	for r := 1; r < procs; r++ {
-		if !strings.Contains(errs[r].Error(), "coordinator") {
+		if !errors.Is(errs[r], ErrCoordinatorLost) {
 			t.Errorf("rank %d error does not point at the lost coordinator: %v", r, errs[r])
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/epoch"
@@ -244,6 +245,13 @@ func (ft *ftState) coordinate() (*mpi.Comm, reconfigSpec, error) {
 	}
 }
 
+// ErrCoordinatorLost reports that world rank 0 died: in-run recovery is
+// impossible by design (rank 0 owns the global state S), so survivors
+// abort and the caller restarts from the latest distributed checkpoint.
+// Test with errors.Is; the cause (usually an mpi.ErrRankDead) is wrapped
+// alongside it.
+var ErrCoordinatorLost = errors.New("core: coordinator (world rank 0) lost, in-run recovery impossible — restart from the latest distributed checkpoint")
+
 // follow is a survivor's half of the handshake: wait for a spec (specs
 // arrive in round order on the FIFO recovery channel; stale rounds are
 // skipped), ACK it, and build the shrunken world.
@@ -252,8 +260,7 @@ func (ft *ftState) follow() (*mpi.Comm, reconfigSpec, error) {
 	for {
 		data, err := world.RecoveryRecv(0, recoverySpecTag).Wait()
 		if err != nil {
-			return nil, reconfigSpec{}, fmt.Errorf(
-				"core: coordinator (world rank 0) lost, in-run recovery impossible — restart from the latest distributed checkpoint: %w", err)
+			return nil, reconfigSpec{}, fmt.Errorf("%w: %w", ErrCoordinatorLost, err)
 		}
 		spec, derr := decodeSpec(data)
 		if derr != nil {

@@ -106,6 +106,8 @@ func (sf *StateFrame) TouchedLen() int { return len(sf.touched) }
 // Bump increments C[v] by one, recording v in the touched list on its
 // first increment. This is the sampler-facing hot path: one bounds-checked
 // load, one predictable branch, one store in the common case.
+//
+//bc:hotpath
 func (sf *StateFrame) Bump(v uint32) {
 	if sf.C[v] == 0 && !sf.dense {
 		sf.touch(v)

@@ -18,6 +18,8 @@ import (
 // driver — sequential, shared-memory coordinator and workers, and the MPI
 // ranks in internal/core — hoisted to a plain function so the compiler
 // keeps it allocation-free (see TestSampleSteadyStateZeroAlloc).
+//
+//bc:hotpath
 func SampleInto(s Sampler, sf *epoch.StateFrame) {
 	internal, ok := s.Sample()
 	sf.Tau++

@@ -147,8 +147,8 @@ func TestTCPFailureInjection(t *testing.T) {
 		// out at the test level — instead, close abruptly the whole
 		// process-side by closing the listener-side conn through closer
 		// AFTER sending one message so the peer is mid-protocol.
-		comm.Send(1, 1, []byte("x"))
-		closer.Close() // graceful close sends goodbye...
+		_ = comm.Send(1, 1, []byte("x")) // mid-protocol crash follows; the send's fate is irrelevant
+		closer.Close()                   // graceful close sends goodbye...
 		done <- result{nil}
 	}()
 	go func() {

@@ -92,6 +92,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	//bc:ctxok session runs outlive their HTTP requests by design; Drain cancels this root
 	runCtx, cancel := context.WithCancel(context.Background())
 	srv := &Server{
 		cfg:         cfg,

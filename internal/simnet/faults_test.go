@@ -2,9 +2,9 @@ package simnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -258,7 +258,7 @@ func TestPartition(t *testing.T) {
 	if err3 == nil {
 		t.Fatal("partitioned rank 3 did not fail")
 	}
-	if _, isDead := mpi.AsRankDead(err3); !isDead && !strings.Contains(err3.Error(), "coordinator") {
+	if _, isDead := mpi.AsRankDead(err3); !isDead && !errors.Is(err3, core.ErrCoordinatorLost) {
 		t.Errorf("partitioned rank error does not identify the lost coordinator: %v", err3)
 	}
 	if rep.Res == nil || rep.Res.Stats.RanksLost != 1 {

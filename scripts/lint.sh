@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Static-analysis gate, mirroring CI's analyze job: build cmd/repolint
+# and run the suite over the whole module through the `go vet -vettool`
+# protocol, so findings come out with file:line positions and a nonzero
+# exit. The tree must be clean — every invariant violation is either a
+# real bug or needs a //bc:hotpath / //bc:ctxok justification at the
+# site (see internal/analysis for the invariant catalogue).
+#
+# Usage:
+#   scripts/lint.sh [packages...]     # default ./...
+#
+# Equivalent one-liner without this script:
+#   go build -o "$(go env GOPATH)/bin/repolint" ./cmd/repolint && \
+#     go vet -vettool="$(go env GOPATH)/bin/repolint" ./...
+#
+# repolint also runs standalone (exit 0 clean / 1 findings / 2 error):
+#   go run ./cmd/repolint ./...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tool="$(mktemp -d)/repolint"
+trap 'rm -rf "$(dirname "$tool")"' EXIT
+
+go build -o "$tool" ./cmd/repolint
+exec go vet -vettool="$tool" "${@:-./...}"
