@@ -378,6 +378,59 @@ func (e *Estimator) Checkpointable() bool {
 	return e.st != nil
 }
 
+// SetCheckpointSink registers sink to receive sealed checkpoint envelopes
+// captured during a Run (see RequestCheckpoint). Each payload is a complete
+// BCSE envelope — exactly what Checkpoint writes — so the sink can persist
+// it as-is and RestoreEstimator will accept it. The sink runs on the
+// engine's coordinating goroutine at an epoch boundary, pausing the run for
+// its duration: hand the bytes off quickly (an atomic file write is fine; a
+// network round-trip is not). Call it before the first Run — typically
+// right after NewEstimator or RestoreEstimator; a nil sink unregisters. On
+// one-shot sessions it is a no-op (use WithDistCheckpoint for the MPI/TCP
+// backends' equivalent).
+func (e *Estimator) SetCheckpointSink(sink func(payload []byte)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.st == nil {
+		return
+	}
+	if sink == nil {
+		e.st.SetOnCheckpoint(nil)
+		return
+	}
+	kind := e.w.kind
+	e.st.SetOnCheckpoint(func(payload []byte) {
+		sink(sealCheckpoint(kind, func(dst []byte) []byte {
+			return append(dst, payload...)
+		}))
+	})
+}
+
+// RequestCheckpoint arms a one-shot asynchronous capture of the session's
+// resumable state: at the next consistent epoch boundary of an active Run,
+// the engine seals a checkpoint envelope and hands it to the
+// SetCheckpointSink sink. Unlike Checkpoint it never blocks on a running
+// estimate — this is the hook a periodic checkpointer uses so an unclean
+// death (SIGKILL, OOM) loses at most one interval of sampling. A request
+// made while the session is idle stays armed for the next Run; requests are
+// not queued (several before a boundary collapse into one capture).
+//
+// On the sequential engine the capture is bit-exact; on the shared-memory
+// engine it is synthesized from the consistent epoch state and restores
+// onto the sequential engine (statistically equivalent — the guarantee
+// depends on how many samples were drawn, not which). Returns false on
+// one-shot sessions, which have no in-process state to capture.
+func (e *Estimator) RequestCheckpoint() bool {
+	// e.st is set once at construction and never replaced, so reading it
+	// without e.mu is safe — taking e.mu here would defeat the point (Run
+	// holds it for the duration of the estimate).
+	if e.st == nil {
+		return false
+	}
+	e.st.RequestCheckpoint()
+	return true
+}
+
 // The checkpoint envelope: magic, format version, workload kind, then the
 // engine payload, closed by a CRC-32 (IEEE) of everything before it so
 // truncation and bit rot fail loudly on restore.

@@ -41,6 +41,25 @@ func allWorkloadKinds() []WorkloadKind {
 // own ctx.Err() instead.
 var ErrRemoteCancelled = core.ErrRemoteCancelled
 
+// ErrCoordinatorLost reports that a distributed run's world rank 0 died —
+// the one failure the in-run shrink-and-recalibrate recovery cannot absorb.
+// Test with errors.Is. Callers holding a distributed checkpoint (see
+// WithDistCheckpoint) can resume from it; otherwise the run must restart,
+// ideally on a smaller world or a single-process backend.
+var ErrCoordinatorLost = core.ErrCoordinatorLost
+
+// IsRankDeath reports whether err was caused by the death of an MPI/TCP
+// rank (a crashed process, a silent peer past its liveness timeout, or a
+// connection torn mid-operation). Most rank deaths are absorbed in-run by
+// the shrink-and-recalibrate recovery; one that surfaces from Run means the
+// world could not reconfigure around it — like ErrCoordinatorLost, the
+// caller's options are retrying on a smaller world or degrading to a
+// single-process backend.
+func IsRankDeath(err error) bool {
+	_, ok := mpi.AsRankDead(err)
+	return ok
+}
+
 // coreConfig maps the public parameters onto the internal distributed
 // configuration. The progress callback is wired at the distributed level
 // only (the per-epoch hook of the embedded sequential config is cleared so

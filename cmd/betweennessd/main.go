@@ -6,11 +6,15 @@
 // Usage:
 //
 //	betweennessd [-addr :8372] [-data DIR] [-max-runs N] [-cache-size N]
+//	             [-checkpoint-interval D] [-run-timeout D] [-cache-disk-bytes N]
 //
-// With -data, state survives restarts: graphs and session metadata
-// persist as they are created, and a SIGTERM/SIGINT drain checkpoints
-// every resumable session (versioned BCSE envelopes) so the next start
-// resumes them with all accumulated samples intact.
+// With -data, state survives restarts — unclean ones included: graphs,
+// session metadata, and converged results persist as they are produced,
+// running sessions are checkpointed every -checkpoint-interval (so a
+// SIGKILL loses at most one interval of sampling; a SIGTERM/SIGINT drain
+// loses none), and startup quarantines rather than trips over files torn
+// by a crash. The daemon listens before it rehydrates: /healthz is live
+// immediately and /readyz turns 200 once recovery finishes.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -30,9 +35,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8372", "listen address")
-	dataDir := flag.String("data", "", "persistence directory (empty: in-memory only, no checkpoints)")
+	dataDir := flag.String("data", "", "persistence directory (empty: in-memory only, nothing survives restarts)")
 	maxRuns := flag.Int("max-runs", 2, "maximum concurrent estimator runs (admission control)")
 	cacheSize := flag.Int("cache-size", 128, "result cache capacity in entries (negative disables)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 0, "result cache disk-tier budget in bytes (0: default 256 MiB, negative disables)")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "periodic checkpoint cadence for running sessions (0: default 30s, negative disables)")
+	runTimeout := flag.Duration("run-timeout", 0, "server-side watchdog per run/refine; expired runs are interrupted, sessions stay resumable (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight runs on shutdown")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -42,22 +50,42 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "betweennessd: ", log.LstdFlags)
+
+	// Listen before rehydrating: recovery over a large data dir takes a
+	// while, and a load balancer probing the boot handler sees an honest
+	// "alive but not ready" instead of a connection refused. The real
+	// handler is swapped in atomically once the server is up.
+	var handler atomic.Value // of http.Handler
+	handler.Store(bootHandler())
+	httpSrv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		})}
+	serveErr := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		serveErr <- httpSrv.ListenAndServe()
+	}()
+
 	srv, err := server.New(server.Config{
-		DataDir:           *dataDir,
-		MaxConcurrentRuns: *maxRuns,
-		CacheSize:         *cacheSize,
-		Logf:              logger.Printf,
+		DataDir:            *dataDir,
+		MaxConcurrentRuns:  *maxRuns,
+		CacheSize:          *cacheSize,
+		CacheDiskBytes:     *cacheDiskBytes,
+		CheckpointInterval: *ckptInterval,
+		RunTimeout:         *runTimeout,
+		Logf:               logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
-
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler.Store(readyWrapped(srv))
 
 	// Graceful shutdown: first drain the estimation layer (cancel runs,
 	// checkpoint sessions), then close the HTTP listener. Ordering matters —
 	// draining first means late HTTP requests see clean 503s instead of
-	// racing the checkpointer.
+	// racing the checkpointer, and /readyz turns 503 the moment the drain
+	// begins so load balancers stop routing first.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 	done := make(chan struct{})
@@ -77,9 +105,29 @@ func main() {
 		}
 	}()
 
-	logger.Printf("listening on %s", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}
 	<-done
 }
+
+// bootHandler serves the probe endpoints while the server rehydrates:
+// alive, not ready, everything else 503.
+func bootHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"starting: recovery scan in progress"}`)
+	})
+	return mux
+}
+
+// readyWrapped returns the server's handler as-is — the name documents the
+// swap point: once stored, /readyz is served by the server itself, which
+// reports ready until a drain begins.
+func readyWrapped(srv *server.Server) http.Handler { return srv.Handler() }

@@ -68,6 +68,12 @@ type EstimatorState struct {
 	clock       time.Duration // cumulative active sampling wall-clock
 	activeSince time.Time     // non-zero while Run executes
 	clockTau    int64         // tau already present when the clock started (restored sessions)
+
+	// ckptReq arms a one-shot in-run checkpoint capture (RequestCheckpoint,
+	// callable from any goroutine); the engines service it at the next
+	// consistent epoch boundary on the coordinating goroutine.
+	ckptReq      atomic.Bool
+	onCheckpoint func(payload []byte)
 }
 
 // NewEstimatorState validates the workload, runs the diameter phase once
@@ -136,6 +142,48 @@ func (st *EstimatorState) Config() Config { return st.cfg }
 // SetOnEpoch replaces the per-epoch progress hook (used after a restore,
 // which cannot serialize functions). Call only between Runs.
 func (st *EstimatorState) SetOnEpoch(fn func(Progress)) { st.cfg.OnEpoch = fn }
+
+// SetOnCheckpoint registers the sink for in-run checkpoint captures (see
+// RequestCheckpoint). The sink runs on the engine's coordinating goroutine
+// at an epoch boundary, so a Run in flight pauses for its duration: hand
+// the payload off (say, an atomic file write) rather than block in it.
+// Call only between Runs.
+func (st *EstimatorState) SetOnCheckpoint(fn func(payload []byte)) { st.onCheckpoint = fn }
+
+// RequestCheckpoint arms a one-shot capture of the session's resumable
+// state during an active Run: at the next consistent epoch boundary the
+// engine serializes a checkpoint payload and hands it to the SetOnCheckpoint
+// sink. Safe to call from any goroutine, including concurrently with Run —
+// this is how a caller that serializes Run behind a mutex (the public
+// Estimator, the daemon's periodic checkpointer) captures in-flight work
+// without blocking on that mutex. A request made while no Run is active
+// stays armed and is serviced by the next Run's first boundary.
+//
+// On the sequential engine the payload is the exact AppendCheckpoint state
+// (bit-identical resume). On the shared-memory engine the worker threads'
+// RNG streams are in concurrent use at a boundary, so the payload is
+// synthesized like a distributed checkpoint — consistent counts, tau, and
+// calibration with a fresh RNG stream — and restores onto the sequential
+// engine (statistically equivalent; see AppendDistCheckpoint).
+func (st *EstimatorState) RequestCheckpoint() { st.ckptReq.Store(true) }
+
+// serviceCheckpoint fulfils an armed checkpoint request. Called by the
+// engines on the coordinating goroutine at epoch boundaries, where the
+// accumulated state frame is consistent.
+func (st *EstimatorState) serviceCheckpoint() {
+	if st.onCheckpoint == nil || !st.ckptReq.CompareAndSwap(true, false) {
+		return
+	}
+	if st.threads == 0 {
+		st.onCheckpoint(st.AppendCheckpoint(nil))
+		return
+	}
+	// Shared-memory engine: the workers own their streams mid-run, so
+	// serialize the coordinator-owned consistent state only. st.cal is
+	// always set here — phase 3 (the only place boundaries occur) requires
+	// calibration.
+	st.onCheckpoint(AppendDistCheckpoint(nil, st.cfg, st.vd, st.w.n, st.s.C, st.s.Tau, st.cal, st.epochs))
+}
 
 // AchievedEps returns the anytime guarantee currently held: 1 (vacuous)
 // before calibration, the O(n) bound sweep of Calibration.AchievedEps
@@ -296,6 +344,7 @@ func (st *EstimatorState) runSeq(ctx context.Context, b Budget) error {
 			st.epochs++
 			st.fireProgress()
 			st.nextCheck = S.Tau + int64(cfg.CheckInterval)
+			st.serviceCheckpoint()
 			if stop {
 				st.converged = true
 				return nil
@@ -447,6 +496,7 @@ func (st *EstimatorState) runShm(ctx context.Context, b Budget) error {
 		fw.AggregateEpoch(e, S)
 		st.epochs++
 		st.fireProgress()
+		st.serviceCheckpoint()
 		e++
 	}
 	done.Store(true)

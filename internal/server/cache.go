@@ -7,13 +7,19 @@ import (
 	"repro/betweenness"
 )
 
-// resultCache is an LRU cache of converged estimation results, keyed by the
-// full statistical identity of a run: graph digest, workload kind, eps,
+// resultCache is a two-tier cache of converged estimation results, keyed by
+// the full statistical identity of a run: graph digest, workload kind, eps,
 // delta, seed, threads, and backend. Two sessions with equal keys would
 // sample identically, so serving the second from the cache is free and
 // exact — this is what makes repeated identical queries O(1) for the
 // daemon. Only converged results are cached (a budget-stopped result is a
 // resumable session state, not an answer).
+//
+// The memory tier is a plain LRU of cap entries. When a data dir is
+// configured, every put also spills the entry to disk (diskcache.go), the
+// disk tier is bounded by maxDiskBytes with LRU eviction, and a restart
+// rehydrates from it — so a converged result survives even a SIGKILL, and
+// a memory-evicted entry is quietly re-admitted from disk on the next hit.
 //
 // Cached *betweenness.Result values are shared read-only across sessions;
 // handlers must copy anything they hand to a caller for mutation.
@@ -23,6 +29,14 @@ type resultCache struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 
+	// The disk tier: dir is the spill directory ("" disables), disk maps
+	// key -> entry file size, diskBytes their sum, bounded by maxDiskBytes.
+	dir          string
+	maxDiskBytes int64
+	disk         map[string]int64
+	diskBytes    int64
+	logf         func(format string, args ...any)
+
 	hits, misses int64
 }
 
@@ -31,20 +45,37 @@ type cacheEntry struct {
 	res *betweenness.Result
 }
 
-func newResultCache(capacity int) *resultCache {
+// newResultCache builds the cache. dir and maxDiskBytes configure the disk
+// tier; dir == "" or maxDiskBytes <= 0 keeps the cache memory-only.
+func newResultCache(capacity int, dir string, maxDiskBytes int64, logf func(string, ...any)) *resultCache {
+	if maxDiskBytes <= 0 {
+		dir = ""
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	return &resultCache{
-		cap:     capacity,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+		cap:          capacity,
+		entries:      make(map[string]*list.Element),
+		order:        list.New(),
+		dir:          dir,
+		maxDiskBytes: maxDiskBytes,
+		disk:         make(map[string]int64),
+		logf:         logf,
 	}
 }
 
-// get returns the cached result for key, refreshing its recency.
+// get returns the cached result for key, refreshing its recency. A memory
+// miss falls through to the disk tier.
 func (c *resultCache) get(key string) (*betweenness.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
+		if res, ok := c.loadFromDiskLocked(key); ok {
+			c.hits++
+			return res, true
+		}
 		c.misses++
 		return nil, false
 	}
@@ -53,14 +84,24 @@ func (c *resultCache) get(key string) (*betweenness.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// put inserts (or refreshes) a result, evicting the least recently used
-// entry past capacity.
+// put inserts (or refreshes) a result in both tiers, evicting the least
+// recently used entries past each tier's capacity.
 func (c *resultCache) put(key string, res *betweenness.Result) {
 	if c.cap <= 0 || res == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.insertLocked(key, res)
+	c.spillLocked(key, res)
+}
+
+// insertLocked is the memory-tier insert: add or refresh, then evict past
+// cap. Callers hold c.mu.
+func (c *resultCache) insertLocked(key string, res *betweenness.Result) {
+	if c.cap <= 0 {
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).res = res
 		c.order.MoveToFront(el)
@@ -71,12 +112,28 @@ func (c *resultCache) put(key string, res *betweenness.Result) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		// The disk twin, if any, stays: memory eviction is about RAM, and
+		// the disk tier has its own byte budget.
 	}
 }
 
-// stats returns the counters for the /stats endpoint.
-func (c *resultCache) stats() (entries int, hits, misses int64) {
+// drop removes key from both tiers (session deletion does not need this —
+// cache entries are keyed by statistical identity, not session — but the
+// recovery path uses it when an entry goes bad at runtime).
+func (c *resultCache) drop(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len(), c.hits, c.misses
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+	c.dropDiskLocked(key)
+}
+
+// stats returns the counters for the /stats endpoint.
+func (c *resultCache) stats() (entries int, hits, misses int64, diskEntries int, diskBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	diskEntries, diskBytes = c.diskStatsLocked()
+	return c.order.Len(), c.hits, c.misses, diskEntries, diskBytes
 }

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/betweenness"
+)
+
+// The disk tier of the result cache. Converged results are deterministic
+// per cache key (the key is the full statistical identity of a run), so a
+// result spilled to disk before a crash is exactly the result the restarted
+// daemon would recompute — serving it from a file is free and correct.
+//
+// Each entry is one self-describing file, cache/<sha256(key)>.bcr:
+//
+//	"BCRE" magic · u16 version · u32 key length · key bytes ·
+//	gob(*betweenness.Result) · CRC-32 (IEEE) of everything before it
+//
+// The key is stored inside the entry (the filename is just a safe,
+// collision-free handle), so rehydration needs no separate index file —
+// the directory IS the index, and a crash can never leave index and
+// entries disagreeing. The CRC trailer makes truncation and bit rot fail
+// loudly at load, where the recovery scan quarantines the file.
+const (
+	cacheMagic   = "BCRE" // betweenness cache, result entry
+	cacheVersion = 1
+)
+
+// cacheFileName maps a cache key to its on-disk entry name.
+func cacheFileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".bcr"
+}
+
+// encodeCacheEntry seals (key, res) into the BCRE envelope.
+func encodeCacheEntry(key string, res *betweenness.Result) ([]byte, error) {
+	buf := make([]byte, 0, 4+2+4+len(key)+1024)
+	buf = append(buf, cacheMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, cacheVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	var gobbed sliceWriter
+	if err := gob.NewEncoder(&gobbed).Encode(res); err != nil {
+		return nil, fmt.Errorf("encoding result: %w", err)
+	}
+	buf = append(buf, gobbed...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// sliceWriter is an allocation-friendly io.Writer over an appended slice.
+type sliceWriter []byte
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+// decodeCacheEntry verifies and opens one BCRE envelope. The bytes are
+// untrusted — a torn write, a bad disk — so every failure is an error, and
+// the caller quarantines.
+func decodeCacheEntry(data []byte) (string, *betweenness.Result, error) {
+	const headerLen = 4 + 2 + 4
+	if len(data) < headerLen+4 {
+		return "", nil, fmt.Errorf("cache entry too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != cacheMagic {
+		return "", nil, fmt.Errorf("not a cache entry (bad magic)")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return "", nil, fmt.Errorf("cache entry checksum mismatch (truncated or corrupted)")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != cacheVersion {
+		return "", nil, fmt.Errorf("unsupported cache entry version %d (want %d)", v, cacheVersion)
+	}
+	keyLen := int(binary.LittleEndian.Uint32(data[6:]))
+	if keyLen < 0 || headerLen+keyLen > len(body) {
+		return "", nil, fmt.Errorf("cache entry key length %d out of range", keyLen)
+	}
+	key := string(data[headerLen : headerLen+keyLen])
+	var res betweenness.Result
+	dec := gob.NewDecoder(newByteReader(body[headerLen+keyLen:]))
+	if err := dec.Decode(&res); err != nil {
+		return "", nil, fmt.Errorf("decoding cached result: %w", err)
+	}
+	return key, &res, nil
+}
+
+// newByteReader wraps bytes for gob without copying.
+func newByteReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// spill writes a converged result to the disk tier and evicts the oldest
+// spilled entries past the byte budget. Callers hold c.mu.
+func (c *resultCache) spillLocked(key string, res *betweenness.Result) {
+	if c.dir == "" || c.maxDiskBytes <= 0 {
+		return
+	}
+	data, err := encodeCacheEntry(key, res)
+	if err != nil {
+		c.logf("warning: result cache spill: %v", err)
+		return
+	}
+	if int64(len(data)) > c.maxDiskBytes {
+		return // larger than the whole budget: keep it in memory only
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		c.logf("warning: result cache spill: %v", err)
+		return
+	}
+	path := filepath.Join(c.dir, cacheFileName(key))
+	if err := writeFileAtomic(path, data); err != nil {
+		c.logf("warning: result cache spill: %v", err)
+		return
+	}
+	if old, ok := c.disk[key]; ok {
+		c.diskBytes -= old
+	}
+	c.disk[key] = int64(len(data))
+	c.diskBytes += int64(len(data))
+	c.evictDiskLocked(key)
+}
+
+// evictDiskLocked drops spilled entries least-recently-used first until the
+// disk tier fits its byte budget. keep is never evicted (it was just
+// written). Recency follows the in-memory LRU order; spilled entries whose
+// memory twin was already evicted go first.
+func (c *resultCache) evictDiskLocked(keep string) {
+	if c.diskBytes <= c.maxDiskBytes {
+		return
+	}
+	// Oldest first: entries no longer in memory, then back-to-front of the
+	// memory LRU.
+	var victims []string
+	for key := range c.disk {
+		if _, inMem := c.entries[key]; !inMem && key != keep {
+			victims = append(victims, key)
+		}
+	}
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		key := el.Value.(*cacheEntry).key
+		if _, onDisk := c.disk[key]; onDisk && key != keep {
+			victims = append(victims, key)
+		}
+	}
+	for _, key := range victims {
+		if c.diskBytes <= c.maxDiskBytes {
+			return
+		}
+		c.dropDiskLocked(key)
+	}
+}
+
+// dropDiskLocked removes one spilled entry (best effort on the file — the
+// accounting is authoritative, and a leftover file is re-counted or
+// re-evicted at the next startup).
+func (c *resultCache) dropDiskLocked(key string) {
+	size, ok := c.disk[key]
+	if !ok {
+		return
+	}
+	delete(c.disk, key)
+	c.diskBytes -= size
+	os.Remove(filepath.Join(c.dir, cacheFileName(key)))
+}
+
+// loadFromDisk serves a memory miss from the disk tier, re-admitting the
+// result to the memory LRU. Callers hold c.mu.
+func (c *resultCache) loadFromDiskLocked(key string) (*betweenness.Result, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	if _, ok := c.disk[key]; !ok {
+		return nil, false
+	}
+	path := filepath.Join(c.dir, cacheFileName(key))
+	data, err := os.ReadFile(path)
+	if err == nil {
+		var gotKey string
+		var res *betweenness.Result
+		if gotKey, res, err = decodeCacheEntry(data); err == nil && gotKey == key && res != nil {
+			c.insertLocked(key, res)
+			return res, true
+		}
+		if err == nil {
+			err = fmt.Errorf("entry holds key %q", gotKey)
+		}
+	}
+	// The entry went bad after the startup scan (or the file vanished):
+	// drop it from the index so we stop trying.
+	c.logf("warning: result cache entry for %s unreadable (%v); dropping", cacheFileName(key), err)
+	c.dropDiskLocked(key)
+	return nil, false
+}
+
+// rehydrate scans the disk tier at startup: CRC-valid entries are indexed
+// (and the most recent admitted to the memory LRU); damaged ones are
+// quarantined via the callback instead of failing startup. Over-budget
+// state from a previous, larger configuration is evicted down to size.
+func (c *resultCache) rehydrate(quarantine func(path, reason string)) {
+	if c.dir == "" {
+		return
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.logf("warning: scanning result cache dir: %v", err)
+		}
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, de := range entries {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".bcr" {
+			continue
+		}
+		path := filepath.Join(c.dir, de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			quarantine(path, err.Error())
+			continue
+		}
+		key, res, err := decodeCacheEntry(data)
+		if err != nil {
+			quarantine(path, err.Error())
+			continue
+		}
+		if cacheFileName(key) != de.Name() {
+			quarantine(path, fmt.Sprintf("entry key %q does not match its filename", key))
+			continue
+		}
+		c.disk[key] = int64(len(data))
+		c.diskBytes += int64(len(data))
+		if c.cap > 0 {
+			c.insertLocked(key, res)
+		}
+	}
+	c.evictDiskLocked("")
+}
+
+// diskStats returns the disk-tier counters for /stats. Callers hold c.mu
+// via stats().
+func (c *resultCache) diskStatsLocked() (entries int, bytes int64) {
+	return len(c.disk), c.diskBytes
+}

@@ -1,0 +1,635 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/betweenness"
+)
+
+// The crash-safety suite. The in-process "SIGKILL" is a crash image: a
+// file-by-file copy of the data dir taken mid-run (reads go through the
+// same atomic-rename files a real crash would leave, and *.tmp files are
+// skipped as a crash leaves them unrenamed), restarted in a fresh Server.
+// The real kill -9 against the real binary lives in
+// scripts/crash_smoke.sh.
+
+// copyDataDir snapshots src into a fresh directory, skipping *.tmp files
+// (a crash image never contains a completed rename of an in-flight write).
+func copyDataDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		if filepath.Ext(path) == ".tmp" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying data dir: %v", err)
+	}
+	return dst
+}
+
+// sessionTau reads the session's current sample count over the API.
+func sessionTau(t *testing.T, base, id string) float64 {
+	t.Helper()
+	code, status := do(t, "GET", base+"/sessions/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET session %s: status %d", id, code)
+	}
+	return status["snapshot"].(map[string]any)["tau"].(float64)
+}
+
+// quarantineEntries lists the base names currently in the quarantine dir.
+func quarantineEntries(t *testing.T, dataDir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dataDir, "quarantine"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, de := range entries {
+		names = append(names, de.Name())
+	}
+	return names
+}
+
+// TestPeriodicCheckpointDuringRun is the SIGKILL acceptance scenario
+// in-process: a converged result and a long run checkpointed by the
+// background loop survive a crash image taken mid-run — the restarted
+// daemon serves the converged result from the rehydrated cache and resumes
+// the interrupted session with at most one checkpoint interval of sampling
+// lost. Pinned by the CI race job: the in-run capture (engine-side flag
+// service, sink write) runs concurrently with sampling and status reads.
+func TestPeriodicCheckpointDuringRun(t *testing.T) {
+	dataDir := t.TempDir()
+	srvA, tsA := newTestServer(t, Config{DataDir: dataDir, CheckpointInterval: 25 * time.Millisecond})
+	name := uploadGraph(t, tsA.URL, "web", testGraphBytes(t))
+
+	// A quick converged run fills both cache tiers.
+	warmParams := map[string]any{"graph": name, "eps": 0.1, "delta": 0.1, "seed": 9}
+	warm := createSession(t, tsA.URL, warmParams)
+	do(t, "POST", tsA.URL+"/sessions/"+warm+"/run", nil)
+	if status := waitIdle(t, tsA.URL, warm); status["converged"] != true {
+		t.Fatalf("warm session did not converge: %v", status)
+	}
+
+	// A long run for the background loop to checkpoint mid-flight.
+	long := createSession(t, tsA.URL, map[string]any{"graph": name, "eps": 0.002, "delta": 0.1, "seed": 1})
+	do(t, "POST", tsA.URL+"/sessions/"+long+"/run", nil)
+	ckptPath := filepath.Join(dataDir, "sessions", long+".bck")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckptPath); err == nil && sessionTau(t, tsA.URL, long) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never checkpointed the running session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Pull the plug: image the data dir mid-run, then stop the doomed
+	// server without draining (its estimators never get to checkpoint at
+	// completion into the image).
+	// Image first, read tau second: sampling only moves forward, so any
+	// checkpoint inside the image is at or behind the tau read afterwards.
+	crashDir := copyDataDir(t, dataDir)
+	tauAtKill := sessionTau(t, tsA.URL, long)
+	srvA.cancelRuns()
+	srvA.wg.Wait()
+	tsA.Close()
+
+	srvB, tsB := newTestServer(t, Config{DataDir: crashDir})
+
+	// The interrupted session resumes behind, never ahead, of the kill
+	// point: what survives is the last checkpoint.
+	restored := sessionTau(t, tsB.URL, long)
+	if restored <= 0 {
+		t.Fatalf("restored session lost all samples (tau %v)", restored)
+	}
+	if restored > tauAtKill {
+		t.Fatalf("restored tau %v exceeds tau at kill %v", restored, tauAtKill)
+	}
+	if code, _ := do(t, "POST", tsB.URL+"/sessions/"+long+"/run", nil); code != http.StatusAccepted {
+		t.Fatal("resume after crash not accepted")
+	}
+	if status := waitIdle(t, tsB.URL, long); status["converged"] != true {
+		t.Fatalf("resumed session did not converge: %v", status)
+	}
+	if tau := sessionTau(t, tsB.URL, long); tau <= restored {
+		t.Fatalf("resume did not extend samples: %v -> %v", restored, tau)
+	}
+
+	// The converged result survived the crash: an identical query on the
+	// restarted daemon is a cache hit served from the disk tier.
+	repeat := createSession(t, tsB.URL, warmParams)
+	do(t, "POST", tsB.URL+"/sessions/"+repeat+"/run", nil)
+	if status := waitIdle(t, tsB.URL, repeat); status["cached"] != true {
+		t.Fatalf("converged result did not survive the crash: %v", status)
+	}
+	_ = srvB
+}
+
+// TestCorruptionQuarantine seeds a data dir with every class of damage an
+// unclean death can leave — truncated checkpoint envelope, bit-rotted CRC,
+// zero-byte metadata, stale tmp file, corrupt cache entry — and asserts
+// startup succeeds with each file quarantined and the damaged session
+// served fresh.
+func TestCorruptionQuarantine(t *testing.T) {
+	cases := []struct {
+		name string
+		// damage mutates the healthy data dir; id is the checkpointed session.
+		damage func(t *testing.T, dataDir, id string)
+		// sessionFresh: the session must come back with zero samples.
+		sessionFresh bool
+		// sessionGone: the whole session was quarantined (404 after restart).
+		sessionGone bool
+	}{
+		{
+			name: "truncated checkpoint",
+			damage: func(t *testing.T, dataDir, id string) {
+				path := filepath.Join(dataDir, "sessions", id+".bck")
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			sessionFresh: true,
+		},
+		{
+			name: "checkpoint bad CRC",
+			damage: func(t *testing.T, dataDir, id string) {
+				path := filepath.Join(dataDir, "sessions", id+".bck")
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[len(data)/2] ^= 0xff
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			sessionFresh: true,
+		},
+		{
+			name: "zero-byte session metadata",
+			damage: func(t *testing.T, dataDir, id string) {
+				if err := os.WriteFile(filepath.Join(dataDir, "sessions", id+".json"), nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			sessionGone: true,
+		},
+		{
+			name: "stale tmp file",
+			damage: func(t *testing.T, dataDir, id string) {
+				err := os.WriteFile(filepath.Join(dataDir, "sessions", id+".bck.tmp"), []byte("torn"), 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "corrupt cache entry",
+			damage: func(t *testing.T, dataDir, id string) {
+				entries, err := os.ReadDir(filepath.Join(dataDir, "cache"))
+				if err != nil || len(entries) == 0 {
+					t.Fatalf("no cache entries to corrupt: %v", err)
+				}
+				path := filepath.Join(dataDir, "cache", entries[0].Name())
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[len(data)-1] ^= 0xff
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dataDir := t.TempDir()
+			srvA, err := New(Config{DataDir: dataDir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tsA := httptest.NewServer(srvA.Handler())
+			name := uploadGraph(t, tsA.URL, "g", testGraphBytes(t))
+			id := createSession(t, tsA.URL, map[string]any{"graph": name, "eps": 0.1, "seed": 3})
+			do(t, "POST", tsA.URL+"/sessions/"+id+"/run", nil)
+			if status := waitIdle(t, tsA.URL, id); status["converged"] != true {
+				t.Fatalf("seed run did not converge: %v", status)
+			}
+			if err := srvA.Drain(t.Context()); err != nil {
+				t.Fatal(err)
+			}
+			tsA.Close()
+
+			tc.damage(t, dataDir, id)
+
+			srvB, err := New(Config{DataDir: dataDir})
+			if err != nil {
+				t.Fatalf("startup over damaged data dir failed: %v", err)
+			}
+			tsB := httptest.NewServer(srvB.Handler())
+			defer tsB.Close()
+
+			if q := quarantineEntries(t, dataDir); len(q) == 0 {
+				t.Fatal("damage was not quarantined")
+			}
+			code, status := do(t, "GET", tsB.URL+"/sessions/"+id, nil)
+			switch {
+			case tc.sessionGone:
+				if code != http.StatusNotFound {
+					t.Fatalf("quarantined session still served: status %d, %v", code, status)
+				}
+			case tc.sessionFresh:
+				if code != http.StatusOK {
+					t.Fatalf("session not served fresh: status %d", code)
+				}
+				if tau := status["snapshot"].(map[string]any)["tau"].(float64); tau != 0 {
+					t.Fatalf("damaged-checkpoint session kept tau %v, want 0", tau)
+				}
+				if deg, _ := status["degraded"].(string); !strings.Contains(deg, "quarantined") {
+					t.Fatalf("fresh-served session does not surface the quarantine: %v", status)
+				}
+			default:
+				if code != http.StatusOK {
+					t.Fatalf("healthy session lost: status %d", code)
+				}
+			}
+			// Whatever happened, the daemon works: a fresh run converges.
+			fresh := createSession(t, tsB.URL, map[string]any{"graph": name, "eps": 0.2, "seed": 8})
+			do(t, "POST", tsB.URL+"/sessions/"+fresh+"/run", nil)
+			if status := waitIdle(t, tsB.URL, fresh); status["converged"] != true {
+				t.Fatalf("post-recovery run did not converge: %v", status)
+			}
+		})
+	}
+}
+
+// TestCrashPointLeavesTmpQuarantined drives the injectable crash hook: die
+// after the durable tmp write, before the rename. The write must fail with
+// the simulated crash, the target file must be untouched, and the restart
+// must quarantine the orphaned tmp file.
+func TestCrashPointLeavesTmpQuarantined(t *testing.T) {
+	dataDir := t.TempDir()
+	srvA, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	name := uploadGraph(t, tsA.URL, "g", testGraphBytes(t))
+	id := createSession(t, tsA.URL, map[string]any{"graph": name, "eps": 0.1, "seed": 4})
+	do(t, "POST", tsA.URL+"/sessions/"+id+"/run", nil)
+	waitIdle(t, tsA.URL, id)
+	tsA.Close()
+
+	// Arm the crash for the next checkpoint write of this session.
+	crashBeforeRename = func(path string) bool {
+		return filepath.Base(path) == id+".bck"
+	}
+	defer func() { crashBeforeRename = nil }()
+	err = srvA.Drain(context.Background())
+	crashBeforeRename = nil
+	if !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("drain did not surface the simulated crash: %v", err)
+	}
+
+	tmpPath := filepath.Join(dataDir, "sessions", id+".bck.tmp")
+	if _, err := os.Stat(tmpPath); err != nil {
+		t.Fatalf("simulated crash left no tmp file: %v", err)
+	}
+	// The run's completion already checkpointed (checkpointAfterOp), so the
+	// target file holds that earlier, complete envelope — a crash between
+	// tmp write and rename never tears the target.
+	ckptPath := filepath.Join(dataDir, "sessions", id+".bck")
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("crash before rename damaged the committed checkpoint: %v", err)
+	}
+
+	srvB, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatal("stale tmp file survived the recovery scan")
+	}
+	found := false
+	for _, q := range quarantineEntries(t, dataDir) {
+		if strings.HasPrefix(q, id+".bck.tmp") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stale tmp file was not quarantined")
+	}
+	// The committed checkpoint still restores: the session keeps its tau.
+	if tau := sessionTau(t, tsB.URL, id); tau <= 0 {
+		t.Fatalf("session lost its committed checkpoint: tau %v", tau)
+	}
+}
+
+// TestWatchdogInterruptsRun pins the run watchdog: an over-budget run is
+// cancelled server-side, reported interrupted (not failed), and the
+// session resumes with its samples. Pinned by the CI race job: the
+// watchdog cancellation races the sampling loop and the progress hook.
+func TestWatchdogInterruptsRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{RunTimeout: 60 * time.Millisecond})
+	name := uploadGraph(t, ts.URL, "g", testGraphBytes(t))
+	id := createSession(t, ts.URL, map[string]any{"graph": name, "eps": 0.0005, "seed": 6})
+
+	do(t, "POST", ts.URL+"/sessions/"+id+"/run", nil)
+	status := waitIdle(t, ts.URL, id)
+	if status["interrupted"] != true {
+		t.Fatalf("watchdog did not interrupt the run: %v", status)
+	}
+	if reason, _ := status["interrupt_reason"].(string); !strings.Contains(reason, "watchdog") {
+		t.Fatalf("interrupt reason does not name the watchdog: %v", status)
+	}
+	if status["error"] != nil {
+		t.Fatalf("watchdog expiry reported as failure: %v", status)
+	}
+	tau0 := status["snapshot"].(map[string]any)["tau"].(float64)
+	if tau0 <= 0 {
+		t.Fatalf("interrupted session lost its samples: tau %v", tau0)
+	}
+	// Resumable: the next run picks up where the watchdog stopped it.
+	if code, _ := do(t, "POST", ts.URL+"/sessions/"+id+"/run", nil); code != http.StatusAccepted {
+		t.Fatal("resume after watchdog not accepted")
+	}
+	status = waitIdle(t, ts.URL, id)
+	if tau := status["snapshot"].(map[string]any)["tau"].(float64); tau <= tau0 {
+		t.Fatalf("resumed run did not extend samples: %v -> %v", tau0, tau)
+	}
+}
+
+// TestShrinkOrDegrade pins the degradation ladder arithmetic.
+func TestShrinkOrDegrade(t *testing.T) {
+	p := sessionParams{Backend: "dist", Procs: 4}
+	p, note, ok := shrinkOrDegrade(p)
+	if !ok || p.Procs != 3 || p.Backend != "dist" || !strings.Contains(note, "3 ranks") {
+		t.Fatalf("shrink from 4: %+v, %q, %v", p, note, ok)
+	}
+	p, _, ok = shrinkOrDegrade(p)
+	if !ok || p.Procs != 2 {
+		t.Fatalf("shrink from 3: %+v", p)
+	}
+	p, note, ok = shrinkOrDegrade(p)
+	if !ok || p.Backend != "shm" || p.Procs != 0 || !strings.Contains(note, "shared-memory") {
+		t.Fatalf("degrade from 2: %+v, %q", p, note)
+	}
+	if _, _, ok := shrinkOrDegrade(p); ok {
+		t.Fatal("shm params reported degradable")
+	}
+	if _, _, ok := shrinkOrDegrade(sessionParams{Backend: "seq"}); ok {
+		t.Fatal("seq params reported degradable")
+	}
+	p, _, ok = shrinkOrDegrade(sessionParams{Backend: "alg1", Procs: 2})
+	if !ok || p.Backend != "shm" {
+		t.Fatalf("alg1 degrade: %+v", p)
+	}
+}
+
+// TestDistDeathClassification pins what the recovery ladder treats as a
+// retryable distributed fatality.
+func TestDistDeathClassification(t *testing.T) {
+	if !isDistDeath(fmt.Errorf("run: %w", betweenness.ErrCoordinatorLost)) {
+		t.Error("wrapped coordinator loss not classified as dist death")
+	}
+	if isDistDeath(errors.New("plain failure")) {
+		t.Error("plain error classified as dist death")
+	}
+	if isDistDeath(context.Canceled) {
+		t.Error("cancellation classified as dist death")
+	}
+}
+
+// TestDistRecoveryRebuild drives the ladder's rebuild step directly: a
+// dist session rebuilt onto shm params runs to convergence on the new
+// backend, with the swap surfaced in the session status.
+func TestDistRecoveryRebuild(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	name := uploadGraph(t, ts.URL, "g", testGraphBytes(t))
+	id := createSession(t, ts.URL, map[string]any{"graph": name, "eps": 0.1, "seed": 5, "backend": "dist", "procs": 2})
+
+	srv.mu.Lock()
+	s := srv.sessions[id]
+	srv.mu.Unlock()
+
+	p, note, ok := shrinkOrDegrade(s.currentParams())
+	if !ok {
+		t.Fatal("dist session not degradable")
+	}
+	s.noteDegraded(note)
+	if err := s.rebuild(p); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+
+	do(t, "POST", ts.URL+"/sessions/"+id+"/run", nil)
+	status := waitIdle(t, ts.URL, id)
+	if status["converged"] != true {
+		t.Fatalf("rebuilt session did not converge: %v", status)
+	}
+	if status["backend"] != "shm" {
+		t.Fatalf("rebuilt session backend = %v, want shm", status["backend"])
+	}
+	if deg, _ := status["degraded"].(string); !strings.Contains(deg, "shared-memory") {
+		t.Fatalf("degradation not surfaced: %v", status)
+	}
+}
+
+// TestPagination covers the ?offset=&limit= windows on both estimate
+// surfaces.
+func TestPagination(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := uploadGraph(t, ts.URL, "g", testGraphBytes(t))
+	id := createSession(t, ts.URL, map[string]any{"graph": name, "eps": 0.1, "seed": 2})
+	do(t, "POST", ts.URL+"/sessions/"+id+"/run", nil)
+	waitIdle(t, ts.URL, id)
+
+	// Unpaginated result stays backward compatible: full vector, no window
+	// metadata.
+	_, full := do(t, "GET", ts.URL+"/sessions/"+id+"/result?estimates=1", nil)
+	n := len(full["estimates"].([]any))
+	if n == 0 {
+		t.Fatal("no estimates")
+	}
+	if _, windowed := full["total"]; windowed {
+		t.Fatal("unpaginated result carries window metadata")
+	}
+
+	code, page := do(t, "GET", ts.URL+"/sessions/"+id+"/result?estimates=1&offset=5&limit=7", nil)
+	if code != http.StatusOK {
+		t.Fatalf("paged result: status %d", code)
+	}
+	if got := len(page["estimates"].([]any)); got != 7 {
+		t.Fatalf("page length = %d, want 7", got)
+	}
+	if page["total"].(float64) != float64(n) || page["offset"].(float64) != 5 {
+		t.Fatalf("window metadata wrong: %v", page)
+	}
+	if page["estimates"].([]any)[0] != full["estimates"].([]any)[5] {
+		t.Fatal("page content does not match the full vector")
+	}
+
+	// The live estimates endpoint.
+	code, live := do(t, "GET", ts.URL+"/sessions/"+id+"/estimates?offset="+fmt.Sprint(n-3)+"&limit=100", nil)
+	if code != http.StatusOK {
+		t.Fatalf("estimates: status %d", code)
+	}
+	if got := len(live["estimates"].([]any)); got != 3 {
+		t.Fatalf("tail page length = %d, want 3 (clamped)", got)
+	}
+	if live["total"].(float64) != float64(n) {
+		t.Fatalf("estimates total = %v, want %d", live["total"], n)
+	}
+
+	// Out-of-range and garbage windows.
+	if code, resp := do(t, "GET", ts.URL+"/sessions/"+id+"/estimates?offset=999999", nil); code != http.StatusOK || len(resp["estimates"].([]any)) != 0 {
+		t.Fatalf("past-the-end offset: status %d, %v", code, resp)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/sessions/"+id+"/estimates?offset=-1", nil); code != http.StatusBadRequest {
+		t.Errorf("negative offset accepted: %d", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/sessions/"+id+"/result?estimates=1&limit=x", nil); code != http.StatusBadRequest {
+		t.Errorf("garbage limit accepted: %d", code)
+	}
+}
+
+// TestHealthAndReadiness: liveness is unconditional; readiness drops the
+// moment a drain begins.
+func TestHealthAndReadiness(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	if code, _ := do(t, "GET", ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+	if err := srv.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, want 200 (liveness is unconditional)", code)
+	}
+}
+
+// TestDiskCacheEviction pins the disk tier's byte budget: spilling past it
+// evicts oldest-first, and the survivors rehydrate.
+func TestDiskCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	mkRes := func(seed int) *betweenness.Result {
+		return &betweenness.Result{
+			Estimates: make([]float64, 512),
+			Tau:       int64(seed),
+			Converged: true,
+			Backend:   "sequential",
+		}
+	}
+	oneSize := func() int64 {
+		data, err := encodeCacheEntry("probe", mkRes(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(len(data))
+	}()
+
+	c := newResultCache(8, dir, 3*oneSize+oneSize/2, nil)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("key-%d", i), mkRes(i))
+	}
+	_, _, _, diskEntries, diskBytes := c.stats()
+	if diskEntries != 3 || diskBytes > 3*oneSize+oneSize/2 {
+		t.Fatalf("disk tier not bounded: %d entries, %d bytes (budget %d)", diskEntries, diskBytes, 3*oneSize+oneSize/2)
+	}
+	// The newest entries survived.
+	for i := 2; i < 5; i++ {
+		if _, ok := c.get(fmt.Sprintf("key-%d", i)); !ok {
+			t.Errorf("recent key-%d evicted", i)
+		}
+	}
+
+	// A fresh cache rehydrates the survivors from disk alone.
+	c2 := newResultCache(8, dir, 10*oneSize, nil)
+	c2.rehydrate(func(path, reason string) { t.Fatalf("healthy entry quarantined: %s (%s)", path, reason) })
+	for i := 2; i < 5; i++ {
+		res, ok := c2.get(fmt.Sprintf("key-%d", i))
+		if !ok || res.Tau != int64(i) {
+			t.Errorf("key-%d did not rehydrate (ok=%v)", i, ok)
+		}
+	}
+}
+
+// TestCacheEntryRoundTrip pins the BCRE envelope: encode/decode is
+// lossless and every corruption fails loudly.
+func TestCacheEntryRoundTrip(t *testing.T) {
+	res := &betweenness.Result{
+		Estimates:   []float64{0.25, 0.5, 0},
+		Tau:         1234,
+		AchievedEps: 0.01,
+		Converged:   true,
+		Backend:     "sequential",
+	}
+	data, err := encodeCacheEntry("some|key", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, got, err := decodeCacheEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "some|key" || got.Tau != 1234 || len(got.Estimates) != 3 || got.Estimates[1] != 0.5 {
+		t.Fatalf("round trip lost data: %q, %+v", key, got)
+	}
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)/2] },                             // truncation
+		func(b []byte) []byte { b[len(b)/2] ^= 1; return b },                      // bit rot
+		func(b []byte) []byte { b[0] = 'X'; return b },                            // bad magic
+		func(b []byte) []byte { return nil },                                      // empty
+		func(b []byte) []byte { return append([]byte("BCRE\x09\x00"), b[6:]...) }, // version skew
+	} {
+		bad := mutate(append([]byte(nil), data...))
+		if _, _, err := decodeCacheEntry(bad); err == nil {
+			t.Error("corrupted entry decoded without error")
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/betweenness"
@@ -20,6 +21,7 @@ import (
 func (srv *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", srv.handleHealth)
+	mux.HandleFunc("GET /readyz", srv.handleReady)
 	mux.HandleFunc("GET /stats", srv.handleStats)
 
 	mux.HandleFunc("POST /graphs", srv.handleGraphUpload)
@@ -34,6 +36,7 @@ func (srv *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /sessions/{id}/run", srv.handleSessionRun)
 	mux.HandleFunc("POST /sessions/{id}/refine", srv.handleSessionRefine)
 	mux.HandleFunc("GET /sessions/{id}/result", srv.handleSessionResult)
+	mux.HandleFunc("GET /sessions/{id}/estimates", srv.handleSessionEstimates)
 	mux.HandleFunc("GET /sessions/{id}/events", srv.handleSessionEvents)
 	return mux
 }
@@ -48,15 +51,30 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// handleHealth is liveness: the process is up and serving. Always 200 —
+// even while draining — so an orchestrator does not kill a daemon that is
+// busy checkpointing its sessions.
 func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is readiness: 200 when the daemon should receive traffic,
+// 503 while the startup recovery scan is still rehydrating state or once a
+// drain has begun — so load balancers stop routing before the drain
+// cancels anything.
+func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !srv.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	srv.mu.Lock()
 	nGraphs, nSessions, draining := len(srv.graphs), len(srv.sessions), srv.draining
 	srv.mu.Unlock()
-	entries, hits, misses := srv.cache.stats()
+	entries, hits, misses, diskEntries, diskBytes := srv.cache.stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graphs":      nGraphs,
 		"sessions":    nSessions,
@@ -64,10 +82,14 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"active_runs": len(srv.slots),
 		"run_slots":   cap(srv.slots),
 		"cache": map[string]any{
-			"entries": entries,
-			"hits":    hits,
-			"misses":  misses,
+			"entries":      entries,
+			"hits":         hits,
+			"misses":       misses,
+			"disk_entries": diskEntries,
+			"disk_bytes":   diskBytes,
 		},
+		"checkpoint_interval": srv.cfg.CheckpointInterval.String(),
+		"quarantined_files":   atomic.LoadInt64(&srv.quarantined),
 	})
 }
 
@@ -182,7 +204,7 @@ func (srv *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 // snapshot (live mid-run to within one epoch — the progress hook keeps it
 // fresh; see Snapshot.Live for the one-shot degradation).
 func (srv *Server) sessionJSON(s *session) map[string]any {
-	snap := s.est.Snapshot()
+	snap := s.estimator().Snapshot()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := map[string]any{
@@ -206,6 +228,12 @@ func (srv *Server) sessionJSON(s *session) map[string]any {
 	}
 	if s.interrupted {
 		out["interrupted"] = true
+		if s.interruptReason != "" {
+			out["interrupt_reason"] = s.interruptReason
+		}
+	}
+	if s.degraded != "" {
+		out["degraded"] = s.degraded
 	}
 	return out
 }
@@ -382,7 +410,7 @@ func (srv *Server) handleSessionRefine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Fail fast on one-shot backends instead of queuing a doomed op.
-	if !s.est.Checkpointable() {
+	if !s.estimator().Checkpointable() {
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("%w (backend %q)", betweenness.ErrNotRefinable, s.paramsBackend()))
 		return
@@ -417,9 +445,37 @@ func (s *session) paramsBackend() string {
 	return s.params.Backend
 }
 
+// parsePage reads the ?offset=&limit= pagination parameters against a
+// vector of total elements. Absent parameters select the full vector
+// (offset 0, limit = total), keeping the unpaginated responses unchanged;
+// paged reports whether the caller asked for a window.
+func parsePage(r *http.Request, total int) (offset, limit int, paged bool, err error) {
+	limit = total
+	if q := r.URL.Query().Get("offset"); q != "" {
+		paged = true
+		if offset, err = strconv.Atoi(q); err != nil || offset < 0 {
+			return 0, 0, false, fmt.Errorf("bad offset %q", q)
+		}
+	}
+	if q := r.URL.Query().Get("limit"); q != "" {
+		paged = true
+		if limit, err = strconv.Atoi(q); err != nil || limit < 0 {
+			return 0, 0, false, fmt.Errorf("bad limit %q", q)
+		}
+	}
+	if offset > total {
+		offset = total
+	}
+	if offset+limit > total {
+		limit = total - offset
+	}
+	return offset, limit, paged, nil
+}
+
 // handleSessionResult returns the estimates of the last completed
-// operation: top-k (?k=, default 10) always, the full per-vertex vector
-// with ?estimates=1. 409 until a result exists.
+// operation: top-k (?k=, default 10) always, the per-vertex vector with
+// ?estimates=1 — paginated by ?offset=&limit= so a million-vertex result
+// does not produce an unbounded response. 409 until a result exists.
 func (srv *Server) handleSessionResult(w http.ResponseWriter, r *http.Request) {
 	s, ok := srv.lookupSession(w, r)
 	if !ok {
@@ -458,9 +514,48 @@ func (srv *Server) handleSessionResult(w http.ResponseWriter, r *http.Request) {
 		"top":             top,
 	}
 	if r.URL.Query().Get("estimates") != "" {
-		out["estimates"] = res.Estimates
+		offset, limit, paged, err := parsePage(r, len(res.Estimates))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out["estimates"] = res.Estimates[offset : offset+limit]
+		if paged {
+			out["offset"], out["limit"], out["total"] = offset, limit, len(res.Estimates)
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionEstimates returns a window of the session's CURRENT
+// per-vertex estimates — the live snapshot, not the last completed
+// result — paginated by ?offset=&limit= (default: the full vector). This
+// is the anytime read: valid under the achieved-eps guarantee at any
+// moment, including mid-run.
+func (srv *Server) handleSessionEstimates(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	snap := s.estimator().Snapshot()
+	if snap.Estimates == nil {
+		writeError(w, http.StatusConflict, errors.New("no estimates yet: run the session first"))
+		return
+	}
+	offset, limit, _, err := parsePage(r, len(snap.Estimates))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tau":          snap.Tau,
+		"achieved_eps": snap.AchievedEps,
+		"live":         snap.Live,
+		"total":        len(snap.Estimates),
+		"offset":       offset,
+		"limit":        limit,
+		"estimates":    snap.Estimates[offset : offset+limit],
+	})
 }
 
 // handleSessionEvents streams the session's progress as SSE: one

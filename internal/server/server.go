@@ -13,13 +13,28 @@
 // tau, samples/s) at any time and GET /sessions/{id}/events streams
 // per-epoch progress over SSE.
 //
-// Production concerns are first-class: an LRU result cache keyed by
-// (graph digest, workload, eps, delta, seed, backend) makes repeated
-// identical queries free; Drain — wired to SIGTERM in cmd/betweennessd —
-// cancels in-flight runs (the estimator keeps their samples), checkpoints
-// every resumable session through the versioned BCSE format, and a
-// restarted daemon rehydrates graphs and sessions from the data directory,
-// resuming exactly where it stopped.
+// Production concerns are first-class, and the durability story holds
+// under unclean death, not just SIGTERM:
+//
+//   - A two-tier LRU result cache keyed by (graph digest, workload, eps,
+//     delta, seed, backend) makes repeated identical queries free; with a
+//     data dir, converged entries spill to disk (bounded by
+//     CacheDiskBytes) and rehydrate on restart.
+//   - Every run and refine checkpoints its session synchronously at
+//     completion, and a background loop (CheckpointInterval) captures
+//     in-flight runs at consistent epoch boundaries — so a SIGKILL or OOM
+//     kill loses at most one interval of sampling, and Drain (wired to
+//     SIGTERM in cmd/betweennessd) remains the clean path: cancel runs,
+//     checkpoint everything, exit.
+//   - Startup is crash-consistent: a recovery scan sweeps interrupted
+//     writes aside, rehydration CRC-verifies checkpoints and cache
+//     entries, and damage is quarantined under <data>/quarantine/ (the
+//     session restarts fresh) instead of keeping the daemon down.
+//   - Runs are watchdogged (RunTimeout) — expiry interrupts the run and
+//     keeps the session resumable — and distributed-backend runs that die
+//     of rank death retry with exponential backoff on a shrunken world,
+//     then degrade to the shared-memory backend, with the degradation
+//     surfaced in session status rather than a bare 500.
 package server
 
 import (
@@ -28,6 +43,8 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/betweenness"
 )
@@ -35,16 +52,29 @@ import (
 // Config configures a Server.
 type Config struct {
 	// DataDir is the persistence root (graphs, session metadata,
-	// checkpoints). Empty runs the server fully in memory: usable, but
-	// Drain cannot checkpoint and a restart starts empty.
+	// checkpoints, the cache's disk tier, quarantined files). Empty runs
+	// the server fully in memory: usable, but nothing survives a restart.
 	DataDir string
 	// MaxConcurrentRuns bounds the number of estimator runs sampling at
 	// once — the admission-control knob. Queued operations wait for a
 	// slot. Default 2.
 	MaxConcurrentRuns int
-	// CacheSize is the result-cache capacity in entries. Default 128;
-	// negative disables caching.
+	// CacheSize is the result-cache capacity in entries (memory tier).
+	// Default 128; negative disables caching entirely.
 	CacheSize int
+	// CacheDiskBytes bounds the result cache's disk tier under
+	// DataDir/cache. Default 256 MiB; negative disables spilling (the
+	// cache then lives and dies with the process).
+	CacheDiskBytes int64
+	// CheckpointInterval is the cadence of the periodic background
+	// checkpointer: how much sampling an unclean death (SIGKILL, OOM kill,
+	// power loss) can cost a running session. Default 30s; negative
+	// disables the loop (completion checkpoints and Drain still write).
+	CheckpointInterval time.Duration
+	// RunTimeout is the server-side watchdog ceiling on one run or refine.
+	// An expired operation is interrupted, not failed: the session keeps
+	// its samples and resumes on the next run. 0 disables (default).
+	RunTimeout time.Duration
 	// MaxUploadBytes bounds one graph upload. Default 1 GiB.
 	MaxUploadBytes int64
 	// Logf, when set, receives one line per significant server event.
@@ -69,22 +99,46 @@ type Server struct {
 	cancelRuns context.CancelFunc
 	// slots is the worker-pool semaphore (capacity MaxConcurrentRuns).
 	slots chan struct{}
-	// wg tracks in-flight run goroutines for Drain.
+	// wg tracks in-flight run goroutines (and the checkpoint loop) for
+	// Drain.
 	wg sync.WaitGroup
+
+	// ready flips true once rehydration finishes; /readyz gates on it (and
+	// on draining).
+	ready atomic.Bool
+	// quarantined counts files set aside by quarantine(), for /stats.
+	quarantined int64
 
 	cache *resultCache
 	mux   *http.ServeMux
 }
 
+// distCheckpointEpochs is the in-run checkpoint cadence of the distributed
+// backends, in epochs: their WithDistCheckpoint hook is epoch-denominated
+// (rank 0 serializes at collective boundaries), unlike the wall-clock loop
+// driving the steppable engines.
+const distCheckpointEpochs = 8
+
 // New builds a Server and, when cfg.DataDir holds a previous instance's
-// state, rehydrates its graphs and sessions (checkpointed sessions resume
-// their exact sampling state).
+// state, rehydrates it: the recovery scan quarantines files torn by an
+// unclean death, graphs and sessions reload (checkpointed sessions resume
+// their sampling state; a session with a damaged checkpoint is served
+// fresh), and the result cache reloads its disk tier.
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrentRuns <= 0 {
 		cfg.MaxConcurrentRuns = 2
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 128
+	}
+	if cfg.CacheDiskBytes == 0 {
+		cfg.CacheDiskBytes = 256 << 20
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 30 * time.Second
+	}
+	if cfg.CheckpointInterval < 0 {
+		cfg.CheckpointInterval = 0
 	}
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 1 << 30
@@ -102,9 +156,14 @@ func New(cfg Config) (*Server, error) {
 		runCtx:      runCtx,
 		cancelRuns:  cancel,
 		slots:       make(chan struct{}, cfg.MaxConcurrentRuns),
-		cache:       newResultCache(cfg.CacheSize),
 	}
+	cacheDir := ""
 	if cfg.DataDir != "" {
+		cacheDir = srv.cacheDir()
+	}
+	srv.cache = newResultCache(cfg.CacheSize, cacheDir, cfg.CacheDiskBytes, cfg.Logf)
+	if cfg.DataDir != "" {
+		srv.recoveryScan()
 		if err := srv.loadGraphs(); err != nil {
 			cancel()
 			return nil, fmt.Errorf("server: rehydrating graphs: %w", err)
@@ -113,16 +172,118 @@ func New(cfg Config) (*Server, error) {
 			cancel()
 			return nil, fmt.Errorf("server: rehydrating sessions: %w", err)
 		}
-		if n := len(srv.sessions); n > 0 || len(srv.graphs) > 0 {
-			cfg.Logf("rehydrated %d graph(s), %d session(s) from %s", len(srv.graphs), n, cfg.DataDir)
+		srv.cache.rehydrate(srv.quarantine)
+		cacheEntries, _, _, diskEntries, _ := srv.cache.stats()
+		if n := len(srv.sessions); n > 0 || len(srv.graphs) > 0 || diskEntries > 0 {
+			cfg.Logf("rehydrated %d graph(s), %d session(s), %d cached result(s) (%d on disk) from %s",
+				len(srv.graphs), n, cacheEntries, diskEntries, cfg.DataDir)
+		}
+		if q := atomic.LoadInt64(&srv.quarantined); q > 0 {
+			cfg.Logf("recovery: quarantined %d damaged file(s) under %s", q, srv.quarantineDir())
 		}
 	}
 	srv.mux = srv.buildMux()
+	srv.ready.Store(true)
+	if cfg.DataDir != "" && cfg.CheckpointInterval > 0 {
+		srv.wg.Add(1)
+		go srv.checkpointLoop()
+	}
 	return srv, nil
 }
 
 // Handler returns the HTTP handler serving the daemon API.
 func (srv *Server) Handler() http.Handler { return srv.mux }
+
+// Ready reports whether the daemon should receive traffic: rehydration
+// finished and no drain is in progress. /readyz serves this.
+func (srv *Server) Ready() bool {
+	srv.mu.Lock()
+	draining := srv.draining
+	srv.mu.Unlock()
+	return srv.ready.Load() && !draining
+}
+
+// checkpointLoop is the periodic background checkpointer: every
+// CheckpointInterval it requests an in-run capture from every running
+// session. Idle sessions need nothing — every operation checkpoints
+// synchronously at completion (checkpointAfterOp), so idle state is
+// already durable; the loop's job is bounding what a SIGKILL can take
+// from a run in flight.
+func (srv *Server) checkpointLoop() {
+	defer srv.wg.Done()
+	ticker := time.NewTicker(srv.cfg.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			srv.checkpointPass()
+		case <-srv.runCtx.Done():
+			return
+		}
+	}
+}
+
+// checkpointPass arms one in-run capture per running session. It never
+// touches the estimator mutex: RequestCheckpoint is a flag the engine
+// services at its next consistent epoch boundary on its own coordinating
+// goroutine, and the sink (writeSessionCheckpoint) persists the sealed
+// envelope. One-shot backends return false — the distributed ones among
+// them checkpoint through their epoch-denominated WithDistCheckpoint hook
+// instead, wired in sessionOptions.
+func (srv *Server) checkpointPass() {
+	srv.mu.Lock()
+	sessions := make([]*session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		running := s.state == stateRunning
+		s.mu.Unlock()
+		if running {
+			s.estimator().RequestCheckpoint()
+		}
+	}
+}
+
+// sessionLive reports whether s is still the registered session for its
+// id — the guard that keeps a checkpoint racing a DELETE from resurrecting
+// the deleted session's files.
+func (srv *Server) sessionLive(s *session) bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.sessions[s.id] == s
+}
+
+// sessionOptions builds the betweenness options for params p on session s,
+// including the server-owned extras: the progress hook (always — it keeps
+// status and SSE fresh) and, for the distributed backends under a data dir,
+// the periodic distributed checkpoint sink.
+func (srv *Server) sessionOptions(s *session, p sessionParams) ([]betweenness.Option, error) {
+	opts, err := p.options(s.progress)
+	if err != nil {
+		return nil, err
+	}
+	if srv.cfg.DataDir != "" && srv.cfg.CheckpointInterval > 0 && p.distBackend() {
+		opts = append(opts, betweenness.WithDistCheckpoint(distCheckpointEpochs, func(payload []byte) {
+			srv.writeSessionCheckpoint(s, payload)
+		}))
+	}
+	return opts, nil
+}
+
+// wireCheckpointSink registers the in-run capture sink on a steppable
+// estimator (no-op on one-shot ones, and without a data dir or with the
+// loop disabled there is nothing to capture for).
+func (srv *Server) wireCheckpointSink(s *session, est *betweenness.Estimator) {
+	if srv.cfg.DataDir == "" || srv.cfg.CheckpointInterval <= 0 {
+		return
+	}
+	est.SetCheckpointSink(func(payload []byte) {
+		srv.writeSessionCheckpoint(s, payload)
+	})
+}
 
 // buildSession constructs (or restores, when ckptPath is non-empty) the
 // estimator behind a session. Callers register the returned session and
@@ -130,7 +291,7 @@ func (srv *Server) Handler() http.Handler { return srv.mux }
 func (srv *Server) buildSession(id string, g *graphEntry, p sessionParams, ckptPath string) (*session, error) {
 	s := &session{id: id, srv: srv, g: g, params: p, state: stateIdle}
 	s.runCtx, s.cancel = context.WithCancel(srv.runCtx)
-	opts, err := p.options(s.progress)
+	opts, err := srv.sessionOptions(s, p)
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +301,21 @@ func (srv *Server) buildSession(id string, g *graphEntry, p sessionParams, ckptP
 			return nil, err
 		}
 		s.est = est
+		if p.distBackend() {
+			// A distributed session's in-run checkpoints are synthesized
+			// envelopes that restore onto the sequential engine (the ranks'
+			// state is gone with the ranks). Surface the engine change and
+			// re-key the session honestly instead of claiming a backend it
+			// no longer runs on.
+			s.degraded = fmt.Sprintf(
+				"restored from a %s-backend checkpoint onto the sequential engine", p.Backend)
+			s.params.Backend, s.params.Procs = "seq", 0
+		}
+		if est.Checkpointable() {
+			// The restored tau is exactly what is on disk already.
+			s.lastCkptTau = est.Snapshot().Tau
+		}
+		srv.wireCheckpointSink(s, est)
 		return s, nil
 	}
 	est, err := betweenness.NewEstimator(g.workload(), opts...)
@@ -147,16 +323,17 @@ func (srv *Server) buildSession(id string, g *graphEntry, p sessionParams, ckptP
 		return nil, err
 	}
 	s.est = est
+	srv.wireCheckpointSink(s, est)
 	return s, nil
 }
 
-// Drain performs the graceful-shutdown sequence: refuse new operations,
-// cancel every in-flight run (the estimators keep their accumulated
-// samples — that is the session contract), wait for the run goroutines,
-// then checkpoint every resumable session so a restarted daemon resumes
-// instead of resampling. It returns the first checkpointing error but
-// keeps going so one bad session cannot sink the others' state; ctx bounds
-// the wait for in-flight runs.
+// Drain performs the graceful-shutdown sequence: refuse new operations
+// (readiness drops with it), cancel every in-flight run (the estimators
+// keep their accumulated samples — that is the session contract), wait for
+// the run goroutines, then checkpoint every resumable session so a
+// restarted daemon resumes instead of resampling. It returns the first
+// checkpointing error but keeps going so one bad session cannot sink the
+// others' state; ctx bounds the wait for in-flight runs.
 func (srv *Server) Drain(ctx context.Context) error {
 	srv.mu.Lock()
 	if srv.draining {

@@ -78,6 +78,13 @@ func (p *sessionParams) normalize() error {
 	return nil
 }
 
+// distBackend reports whether the params name an in-process distributed
+// backend — the ones whose runs can die of rank death and are worth
+// retrying on a smaller world.
+func (p sessionParams) distBackend() bool {
+	return p.Backend == "dist" || p.Backend == "alg1"
+}
+
 // executor builds the backend the params name.
 func (p sessionParams) executor() betweenness.Executor {
 	switch p.Backend {
@@ -130,24 +137,60 @@ type session struct {
 	id  string
 	srv *Server
 	g   *graphEntry
-	est *betweenness.Estimator
 
 	// cancel aborts this session's in-flight operation (DELETE mid-run);
 	// runCtx is additionally cancelled server-wide by Drain.
 	runCtx context.Context
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// est is replaced only by the distributed-failure recovery ladder
+	// (rebuild), which runs on the op goroutine while the session is
+	// formally running — everyone else reads it through estimator().
+	est       *betweenness.Estimator
 	params    sessionParams
 	state     string
 	result    *betweenness.Result
 	runErr    string
 	cached    bool
 	converged bool
-	// interrupted reports the last operation was stopped by cancellation
-	// (drain or delete) with its samples retained.
-	interrupted bool
+	// interrupted reports the last operation was stopped early with its
+	// samples retained (cancellation, drain, or the server run watchdog);
+	// interruptReason says which.
+	interrupted     bool
+	interruptReason string
+	// degraded, when non-empty, records that the session no longer runs
+	// exactly as requested: a distributed world shrank or fell back to the
+	// shared-memory backend after rank deaths, or a restart restored a
+	// synthesized checkpoint onto the sequential engine.
+	degraded string
+	// lastCkptTau is the sample count of the last persisted checkpoint,
+	// used to skip no-op checkpoint writes.
+	lastCkptTau int64
 	subs        map[chan []byte]struct{}
+}
+
+// estimator returns the session's current estimator. The pointer is stable
+// for the duration of any one operation; it changes only when the recovery
+// ladder rebuilds the session between attempts.
+func (s *session) estimator() *betweenness.Estimator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est
+}
+
+// noteCheckpoint records the sample count just persisted.
+func (s *session) noteCheckpoint(tau int64) {
+	s.mu.Lock()
+	s.lastCkptTau = tau
+	s.mu.Unlock()
+}
+
+// currentParams returns a copy of the session params.
+func (s *session) currentParams() sessionParams {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.params
 }
 
 // refineSpec carries a validated refine request from the handler to the
@@ -209,6 +252,7 @@ func (s *session) start(kind opKind, spec refineSpec) error {
 	s.state = stateQueued
 	s.runErr = ""
 	s.interrupted = false
+	s.interruptReason = ""
 	s.srv.wg.Add(1)
 	go s.execute(kind, spec)
 	s.broadcastLocked("state", map[string]string{"state": stateQueued})
@@ -216,7 +260,8 @@ func (s *session) start(kind opKind, spec refineSpec) error {
 }
 
 // execute is the run goroutine: cache fast path, worker-slot admission,
-// the estimator call, then result/cache/state bookkeeping.
+// the estimator call (watchdogged, with distributed-failure recovery),
+// then checkpoint/result/cache/state bookkeeping.
 func (s *session) execute(kind opKind, spec refineSpec) {
 	defer s.srv.wg.Done()
 
@@ -243,26 +288,139 @@ func (s *session) execute(kind opKind, spec refineSpec) {
 
 	s.setState(stateRunning)
 
+	// The run watchdog: a server-side ceiling on one operation's wall
+	// clock, independent of any budget the client asked for. The estimator
+	// contract makes expiry safe — the accumulated samples survive and the
+	// session reports interrupted, not failed.
+	ctx := s.runCtx
+	cancelWatchdog := func() {}
+	if t := s.srv.cfg.RunTimeout; t > 0 {
+		ctx, cancelWatchdog = context.WithTimeout(ctx, t)
+	}
+
 	var res *betweenness.Result
 	var err error
 	switch kind {
 	case opRefine:
-		res, err = s.est.Refine(s.runCtx, spec.opts...)
+		res, err = s.estimator().Refine(ctx, spec.opts...)
 		if err == nil && spec.apply != nil {
 			s.mu.Lock()
 			spec.apply(&s.params)
 			s.mu.Unlock()
 		}
 	default:
-		res, err = s.est.Run(s.runCtx)
+		res, err = s.runRecovering(ctx)
 	}
+	cancelWatchdog()
 	if err == nil && res != nil && res.Converged {
 		s.mu.Lock()
 		key := s.cacheKeyLocked()
 		s.mu.Unlock()
 		s.srv.cache.put(key, res)
 	}
+	// Persist the outcome before the session flips back to idle: this
+	// goroutine still owns the estimator exclusively (no new op can start
+	// while state is "running"), so the checkpoint races nothing, and an
+	// unclean death any time after it loses none of this operation's work.
+	s.srv.checkpointAfterOp(s)
 	s.finish(res, err, false)
+}
+
+// Recovery-ladder tuning: first retry after distRetryBase, doubling per
+// attempt, at most distRetryAttempts rebuilds (enough to walk procs down
+// and land on shm for typical worlds).
+const (
+	distRetryBase     = 250 * time.Millisecond
+	distRetryAttempts = 4
+)
+
+// runRecovering executes a Run, and — for the distributed backends — walks
+// the degradation ladder when the run dies of a rank death the in-run
+// shrink-and-recalibrate recovery could not absorb: retry with exponential
+// backoff on a world one rank smaller, and once the world is minimal,
+// degrade to the shared-memory backend. Each step is recorded in the
+// session's degraded note and surfaced in its status instead of a bare
+// run error.
+func (s *session) runRecovering(ctx context.Context) (*betweenness.Result, error) {
+	res, err := s.estimator().Run(ctx)
+	backoff := distRetryBase
+	for attempt := 0; attempt < distRetryAttempts; attempt++ {
+		if err == nil || !isDistDeath(err) || ctx.Err() != nil {
+			return res, err
+		}
+		p, note, ok := shrinkOrDegrade(s.currentParams())
+		if !ok {
+			return res, err
+		}
+		s.noteDegraded(fmt.Sprintf("%s after %v", note, err))
+		if rerr := s.rebuild(p); rerr != nil {
+			return nil, fmt.Errorf("%v; rebuilding session to retry: %w", err, rerr)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+		res, err = s.estimator().Run(ctx)
+	}
+	return res, err
+}
+
+// isDistDeath reports whether err is a distributed-run fatality worth
+// retrying on a reconfigured backend.
+func isDistDeath(err error) bool {
+	return betweenness.IsRankDeath(err) || errors.Is(err, betweenness.ErrCoordinatorLost)
+}
+
+// shrinkOrDegrade computes the next rung of the degradation ladder for
+// params whose run just died of a rank death: shrink the world by one rank
+// while more than two remain, then fall back to the shared-memory backend.
+// ok is false when the params are not degradable (already single-process).
+func shrinkOrDegrade(p sessionParams) (next sessionParams, note string, ok bool) {
+	if !p.distBackend() {
+		return p, "", false
+	}
+	if p.Procs > 2 {
+		p.Procs--
+		return p, fmt.Sprintf("retrying on a shrunken world of %d ranks", p.Procs), true
+	}
+	p.Backend, p.Procs = "shm", 0
+	return p, "degraded from the distributed backend to shared-memory", true
+}
+
+// rebuild replaces the session's estimator with one built for the new
+// params. It runs on the op goroutine while the session is formally
+// running, so no other operation can observe the swap mid-flight. The dist
+// backends are one-shot (no in-process sampling state), so nothing is lost
+// in the swap beyond what the failed run already lost.
+func (s *session) rebuild(p sessionParams) error {
+	opts, err := s.srv.sessionOptions(s, p)
+	if err != nil {
+		return err
+	}
+	est, err := betweenness.NewEstimator(s.g.workload(), opts...)
+	if err != nil {
+		return err
+	}
+	s.srv.wireCheckpointSink(s, est)
+	s.mu.Lock()
+	s.params = p
+	s.est = est
+	s.mu.Unlock()
+	if err := s.srv.persistSessionMeta(s, false); err != nil {
+		s.srv.cfg.Logf("warning: persisting session %s meta: %v", s.id, err)
+	}
+	return nil
+}
+
+// noteDegraded records (and broadcasts) a degradation step.
+func (s *session) noteDegraded(note string) {
+	s.srv.cfg.Logf("session %s: %s", s.id, note)
+	s.mu.Lock()
+	s.degraded = note
+	s.broadcastLocked("degraded", map[string]string{"degraded": note})
+	s.mu.Unlock()
 }
 
 // setState transitions the op state and notifies subscribers.
@@ -274,9 +432,9 @@ func (s *session) setState(state string) {
 }
 
 // finish records the outcome of an operation and returns the session to
-// idle. A cancellation is not a failure: the estimator's contract keeps
-// the state consistent and resumable, so the session simply reports
-// interrupted with its samples retained.
+// idle. A cancellation or watchdog expiry is not a failure: the estimator's
+// contract keeps the state consistent and resumable, so the session simply
+// reports interrupted with its samples retained.
 func (s *session) finish(res *betweenness.Result, err error, fromCache bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -286,8 +444,14 @@ func (s *session) finish(res *betweenness.Result, err error, fromCache bool) {
 		s.result = res
 		s.cached = fromCache
 		s.converged = res != nil && res.Converged
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
 		s.interrupted = true
+		s.interruptReason = fmt.Sprintf(
+			"run watchdog: exceeded the server run timeout (%s); samples retained, run again to continue",
+			s.srv.cfg.RunTimeout)
+	case errors.Is(err, context.Canceled):
+		s.interrupted = true
+		s.interruptReason = "cancelled; samples retained"
 	default:
 		s.runErr = err.Error()
 	}
@@ -301,7 +465,7 @@ func (s *session) finish(res *betweenness.Result, err error, fromCache bool) {
 			"achieved_eps": res.AchievedEps,
 		})
 	case s.interrupted:
-		s.broadcastLocked("interrupted", map[string]string{"reason": err.Error()})
+		s.broadcastLocked("interrupted", map[string]string{"reason": s.interruptReason})
 	default:
 		s.broadcastLocked("error", map[string]string{"error": err.Error()})
 	}
@@ -353,7 +517,7 @@ func (s *session) broadcastLocked(event string, data any) {
 }
 
 // snapshotJSON is the wire shape of a betweenness.Snapshot (estimates
-// elided — they go through the result endpoint).
+// elided — they go through the result and estimates endpoints).
 func snapshotJSON(snap betweenness.Snapshot) map[string]any {
 	return map[string]any{
 		"epoch":           snap.Epoch,
