@@ -95,6 +95,7 @@ import (
 
 	"repro/betweenness"
 	"repro/graph"
+	"repro/internal/memprof"
 )
 
 func main() {
@@ -124,8 +125,17 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "seq/shm: persist the session here (written on Ctrl-C and on completion); dist/alg1/tcp with -dist-checkpoint-interval: destination of the periodic distributed checkpoint")
 		resumePath = flag.String("resume", "", "seq/shm: resume a -checkpoint session; explicit -eps/-delta refine it")
 		distCkpt   = flag.Int("dist-checkpoint-interval", 0, "dist/alg1/tcp: write a distributed checkpoint to -checkpoint every N epochs (0 = off; resume it with -backend seq -resume)")
+		memstats   = flag.Bool("memstats", false, "print heap and resident-set stats before exiting (the ingest smoke test's RSS bound)")
 	)
 	flag.Parse()
+	// A mapped input graph (BCSR v2 via graph.LoadFile) should show up in
+	// rss, not heap-sys — that asymmetry is what -memstats exists to verify.
+	reportMem := func() {
+		if *memstats {
+			memprof.Read().Report(os.Stdout)
+		}
+	}
+	defer reportMem()
 	// Resuming takes the statistical identity from the checkpoint; an
 	// explicitly passed -eps/-delta becomes a refinement target instead.
 	explicit := map[string]bool{}

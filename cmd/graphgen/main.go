@@ -17,13 +17,17 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/graph"
+	"repro/internal/memprof"
 )
 
 func main() {
@@ -44,8 +48,18 @@ func main() {
 		directed = flag.Bool("directed", false, "generate a random strongly connected digraph (-n, -m) as an arc list")
 		weighted = flag.Bool("weighted", false, "assign uniform weights in [1, -maxw] and write a weighted edge list")
 		maxW     = flag.Uint64("maxw", 10, "with -weighted: maximum edge weight")
+		stream   = flag.Bool("stream", false, "stream edges to the output in bounded memory (rmat/er/road; .bcsr output goes through the out-of-core converter)")
+		connect  = flag.Bool("connect", false, "with -stream: add a spanning chain (i, i+1) so the output is connected")
+		mem      = flag.String("mem", "256MiB", "with -stream to .bcsr: converter sort-buffer budget")
+		compress = flag.Bool("compress", false, "with -stream to .bcsr: varint/delta-compress adjacency")
+		memstats = flag.Bool("memstats", false, "print heap and resident-set stats before exiting (how the ingest smoke test verifies -mem bounds the converter)")
 	)
 	flag.Parse()
+	defer func() {
+		if *memstats {
+			memprof.Read().Report(os.Stdout)
+		}
+	}()
 	if *out == "" {
 		fatal(fmt.Errorf("need -o FILE"))
 	}
@@ -53,6 +67,20 @@ func main() {
 		fatal(fmt.Errorf("-directed and -weighted are mutually exclusive"))
 	}
 	start := time.Now()
+
+	if *stream {
+		if *directed || *weighted || *lcc {
+			fatal(fmt.Errorf("-stream is incompatible with -directed, -weighted, and -lcc (it never materializes the graph)"))
+		}
+		if err := streamGen(*kind, *out, streamParams{
+			scale: *scale, ef: *ef, n: *n, m: *m, rows: *rows, cols: *cols,
+			seed: *seed, connect: *connect, mem: *mem, compress: *compress,
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("streamed %s (%v)\n", *out, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *directed {
 		if *n < 2 {
@@ -116,4 +144,136 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "graphgen:", err)
 	os.Exit(1)
+}
+
+// streamParams carries the -stream mode's flag values.
+type streamParams struct {
+	scale, ef, n, m, rows, cols int
+	seed                        uint64
+	connect                     bool
+	mem                         string
+	compress                    bool
+}
+
+// streamGen writes the generator's edge stream directly to the output in
+// bounded memory: a ".bcsr" path goes through the out-of-core converter
+// (external sort, BCSR v2), anything else is written as a text edge list
+// line by line. Only the O(1)-state generators stream (rmat, er, road);
+// ba and hyperbolic inherently materialize and are rejected.
+func streamGen(kind, out string, p streamParams) error {
+	var numNodes int
+	var run func(emit func(u, v graph.Node) error) error
+	switch kind {
+	case "rmat":
+		rp := graph.Graph500(p.scale, p.ef, p.seed)
+		numNodes = 1 << p.scale
+		run = func(emit func(u, v graph.Node) error) error { return graph.StreamRMAT(rp, emit) }
+	case "er":
+		numNodes = p.n
+		run = func(emit func(u, v graph.Node) error) error {
+			return graph.StreamErdosRenyi(p.n, p.m, p.seed, emit)
+		}
+	case "road":
+		rp := graph.RoadParams{Rows: p.rows, Cols: p.cols, DeleteProb: 0.1, DiagonalProb: 0.03, Seed: p.seed}
+		numNodes = p.rows * p.cols
+		run = func(emit func(u, v graph.Node) error) error { return graph.StreamRoad(rp, emit) }
+	default:
+		return fmt.Errorf("-stream supports rmat, er, and road (got %q; ba and hyperbolic must materialize)", kind)
+	}
+
+	emitAll := func(emit func(u, v graph.Node) error) error {
+		if err := run(emit); err != nil {
+			return err
+		}
+		if p.connect {
+			// A spanning chain guarantees one component, so downstream
+			// largest-component extraction is the identity (no copy).
+			for i := 0; i+1 < numNodes; i++ {
+				if err := emit(graph.Node(i), graph.Node(i+1)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if strings.HasSuffix(out, ".bcsr") {
+		memBytes, err := parseSize(p.mem)
+		if err != nil {
+			return err
+		}
+		c, err := graph.NewConverter(out, graph.ConvertOptions{
+			MemBytes: memBytes,
+			NumNodes: numNodes,
+			Compress: p.compress,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if err := emitAll(c.AddEdge); err != nil {
+			return err
+		}
+		stats, err := c.Finish()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("converted: %d nodes, %d edges, %.1f MiB (%d runs, %d merge passes)\n",
+			stats.Nodes, stats.Edges, float64(stats.BytesOut)/(1<<20), stats.Runs, stats.MergePasses)
+		return nil
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	fmt.Fprintf(bw, "# undirected graph: %d nodes (streamed %s, may contain duplicates/self loops)\n", numNodes, kind)
+	if err := emitAll(func(u, v graph.Node) error {
+		_, werr := fmt.Fprintf(bw, "%d %d\n", u, v)
+		return werr
+	}); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// sizeSuffixes maps size suffixes to multipliers, longest-first so "MiB"
+// wins over "B".
+var sizeSuffixes = []struct {
+	suffix string
+	mult   int64
+}{
+	{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+	{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+	{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1},
+}
+
+// parseSize parses a byte size with optional binary suffix ("256MiB").
+func parseSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	for _, c := range sizeSuffixes {
+		if strings.HasSuffix(t, c.suffix) && len(t) > len(c.suffix) {
+			t = strings.TrimSuffix(t, c.suffix)
+			mult = c.mult
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	n := int64(v * float64(mult))
+	if n <= 0 {
+		return 0, fmt.Errorf("size %q must be positive", s)
+	}
+	return n, nil
 }

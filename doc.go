@@ -25,7 +25,7 @@
 //
 // The algorithm implementations live under internal/ and are reached only
 // through the public packages; executables are under cmd/ (bcapprox,
-// bcexact, graphgen, graphinfo, experiments); runnable examples under
+// bcexact, graphgen, graphconv, graphinfo, experiments); runnable examples under
 // examples/. The top-level bench_test.go regenerates the tables and
 // figures of the paper's evaluation on miniature instances.
 //
@@ -92,13 +92,31 @@
 // checkpoint files and a restart resumes them without losing samples. See
 // internal/server and the README's "Running as a service" section.
 //
+// # Billion-edge ingest
+//
+// The paper's target instances (billions of edges) never fit the
+// parse-everything loader, so ingest is split in two: graph.NewConverter
+// (cmd/graphconv) externally sorts an edge stream into the page-aligned
+// on-disk BCSR v2 format in memory bounded by its sort budget rather than
+// the edge count, and graph.OpenMapped memory-maps the result — an O(1)
+// open (header parse plus an offsets-monotonicity scan, no adjacency
+// touch) that serves the CSR zero-copy off the page cache. graph.LoadFile
+// routes .bcsr files through the mapped path automatically, estimators
+// fault pages in lazily as samples walk the graph, and betweennessd
+// persists undirected uploads as BCSR v2 and serves sessions off the
+// shared mapping. graphgen -stream pipes the synthetic generators through
+// the converter so arbitrarily large test instances never materialize in
+// memory. See the README's "Billion-edge ingest" section for the format
+// and the memory model.
+//
 // # Static analysis
 //
 // The invariants the sections above rely on — allocation-free sampling
 // kernels, the sparse-frame write protocol, typed fault handling, threaded
-// cancellation, and the public-API layering — are machine-enforced by a
-// repo-specific analyzer suite under internal/analysis (epochframe,
-// hotpathalloc, rankdead, ctxleak, layerimport), built and run by CI over
+// cancellation, the public-API layering, and the mapped-graph memory
+// discipline — are machine-enforced by a repo-specific analyzer suite
+// under internal/analysis (epochframe, hotpathalloc, rankdead, ctxleak,
+// layerimport, mmapsafe), built and run by CI over
 // the whole tree via cmd/repolint, a `go vet -vettool` multichecker.
 // Hot functions are annotated //bc:hotpath; a deliberate root context is
 // justified in place with //bc:ctxok <reason>. Run scripts/lint.sh (or

@@ -42,6 +42,23 @@ func ErdosRenyi(n, m int, seed uint64) *Graph { return gen.ErdosRenyi(n, m, seed
 // vertex attaches k edges.
 func BarabasiAlbert(n, k int, seed uint64) *Graph { return gen.BarabasiAlbert(n, k, seed) }
 
+// StreamRMAT emits the exact edge sequence RMAT consumes — self loops
+// and duplicates included — through a callback, so huge instances stream
+// into the out-of-core converter without being materialized.
+func StreamRMAT(p RMATParams, emit func(u, v Node) error) error {
+	return gen.StreamRMAT(p, emit)
+}
+
+// StreamErdosRenyi emits the exact edge sequence ErdosRenyi consumes.
+func StreamErdosRenyi(n, m int, seed uint64, emit func(u, v Node) error) error {
+	return gen.StreamErdosRenyi(n, m, seed, emit)
+}
+
+// StreamRoad emits the exact edge sequence Road consumes.
+func StreamRoad(p RoadParams, emit func(u, v Node) error) error {
+	return gen.StreamRoad(p, emit)
+}
+
 // RandomDigraph generates a random strongly connected digraph on n vertices
 // with approximately m arcs (a random Hamiltonian cycle guarantees strong
 // connectivity; the remaining arcs are uniform).

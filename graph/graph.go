@@ -63,7 +63,10 @@ func Subgraph(g *Graph, keep []Node) (*Graph, map[Node]Node) {
 
 // LargestComponent returns the induced subgraph on the largest connected
 // component, as the paper does for disconnected inputs (§V-A), along with
-// the old-to-new vertex ID mapping for the vertices that were kept.
+// the old-to-new vertex ID mapping for the vertices that were kept. A nil
+// mapping means the input was already connected and is returned as-is —
+// no identity map is materialized, so a connected mapped graph
+// (OpenMapped) passes through with zero copies and zero per-vertex heap.
 //
 // It fails when the result would be unusable for betweenness estimation —
 // an empty graph, or a largest component consisting of a single isolated
@@ -83,8 +86,9 @@ func LargestComponent(g *Graph) (*Graph, map[Node]Node, error) {
 
 // LargestComponentW is the weighted analogue of LargestComponent: it
 // returns the induced weighted subgraph on the largest connected component
-// (weights carried over) and the old-to-new vertex ID mapping, failing on
-// degenerate inputs under the same rules.
+// (weights carried over) and the old-to-new vertex ID mapping (nil =
+// already connected, returned as-is), failing on degenerate inputs under
+// the same rules.
 func LargestComponentW(g *WGraph) (*WGraph, map[Node]Node, error) {
 	if g == nil || g.NumNodes() == 0 {
 		return nil, nil, fmt.Errorf("graph: largest component of an empty graph")

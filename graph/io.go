@@ -3,6 +3,7 @@ package graph
 import (
 	"io"
 
+	"repro/internal/bigio"
 	igraph "repro/internal/graph"
 )
 
@@ -20,10 +21,19 @@ const (
 	FormatEdgeList         = igraph.FormatEdgeList
 	FormatArcList          = igraph.FormatArcList
 	FormatWeightedEdgeList = igraph.FormatWeightedEdgeList
+	FormatBCSR2            = igraph.FormatBCSR2
 )
 
 // ErrFormatUnknown reports that DetectFormat could not identify the input.
 var ErrFormatUnknown = igraph.ErrFormatUnknown
+
+// ErrBCSRVersion is the errors.Is target for BCSR version skew: a BCSR
+// file whose version the reader it was handed cannot load.
+var ErrBCSRVersion = igraph.ErrBCSRVersion
+
+// BCSRVersionError carries the offending version and a hint naming the
+// reader that can load the file, when one exists.
+type BCSRVersionError = igraph.BCSRVersionError
 
 // DetectFormat sniffs the graph format at the head of r without consuming
 // it: the returned reader replays the full stream, sniffed bytes included,
@@ -37,9 +47,25 @@ func DetectFormat(r io.Reader) (Format, io.Reader, error) { return igraph.Detect
 // the ".bcsr" extension as a tie-breaker for empty files.
 func DetectFormatFile(path string) (Format, error) { return igraph.DetectFormatFile(path) }
 
-// LoadFile reads a graph from path: a text edge list, or the compact BCSR
-// binary format when the name ends in ".bcsr".
-func LoadFile(path string) (*Graph, error) { return igraph.LoadFile(path) }
+// LoadFile reads a graph from path. BCSR v2 files (whatever their name)
+// open through the mmap-backed loader — O(1), adjacency served from the
+// mapping, see OpenMapped — and the returned Graph keeps the mapping
+// alive; everything else falls back to the extension rule: ".bcsr" for
+// the heap-loaded BCSR v1 binary format, text edge list otherwise.
+func LoadFile(path string) (*Graph, error) {
+	format, err := igraph.DetectFormatFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if format == FormatBCSR2 {
+		m, err := bigio.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return m.Graph(), nil
+	}
+	return igraph.LoadFile(path)
+}
 
 // SaveFile writes a graph to path, choosing the format by extension like
 // LoadFile.

@@ -11,6 +11,8 @@
 //	rankdead     — MPI errors are matched typed, transport errors handled
 //	ctxleak      — no context.Background()/TODO() in library packages
 //	layerimport  — cmd/examples use the public API; leaf packages stay leaves
+//	mmapsafe     — unsafe/mmap confined to internal/bigio; mapped slices
+//	               never feed append or become copy destinations
 package analysis
 
 import (
@@ -19,6 +21,7 @@ import (
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/layerimport"
+	"repro/internal/analysis/mmapsafe"
 	"repro/internal/analysis/rankdead"
 )
 
@@ -29,6 +32,7 @@ func All() []*framework.Analyzer {
 		epochframe.Analyzer,
 		hotpathalloc.Analyzer,
 		layerimport.Analyzer,
+		mmapsafe.Analyzer,
 		rankdead.Analyzer,
 	}
 }

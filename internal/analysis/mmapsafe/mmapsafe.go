@@ -1,0 +1,199 @@
+// Package mmapsafe enforces the billion-edge ingest memory-safety
+// invariants from PR 10. The BCSR v2 reader serves CSR slices that alias
+// a read-only file mapping, which is only sound while two rules hold
+// tree-wide:
+//
+//  1. The unsafe reinterpretation and the mmap/munmap syscalls stay
+//     confined to internal/bigio. Every other package works with the
+//     safe []uint64/[]Node views it hands out; a second unsafe.Slice or
+//     syscall.Mmap site would be a second place to get the aliasing
+//     lifetime wrong.
+//  2. Mapped adjacency never reaches a grow-or-write builtin. The mapped
+//     slices have len == cap, so append always reallocates today — but
+//     code written against that accident breaks the aliasing guarantee
+//     silently, and copy INTO a mapped slice is a write to a PROT_READ
+//     page (a fault at best). Both are flagged at the call site.
+//
+// Rule 2 is intraprocedural: a variable becomes "mapped" when assigned
+// from (*Mapped).Graph() — directly or via the repro/graph re-export —
+// and the taint follows field selections (.Adj, .Offsets), indexing,
+// slicing, and Neighbors calls within the function. That catches the
+// realistic mistake (load a mapped graph, hand its adjacency to append)
+// without whole-program analysis; reviewers guard the exotic flows.
+//
+// A deliberate exception — a test proving the fault, say — is suppressed
+// with //bc:mmapok <reason> on the line or the line above.
+package mmapsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Directive suppresses a finding at a justified site.
+const Directive = "mmapok"
+
+// bigioPath is the one package allowed to hold unsafe and mmap syscalls.
+const bigioPath = "repro/internal/bigio"
+
+// Analyzer is the mmapsafe pass.
+var Analyzer = &framework.Analyzer{
+	Name: "mmapsafe",
+	Doc:  "confines unsafe/mmap to internal/bigio and keeps mapped graph slices out of append/copy",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == bigioPath {
+		return nil, nil // the one sanctioned home of unsafe and mmap
+	}
+	checkConfinement(pass)
+	checkMappedEscapes(pass)
+	return nil, nil
+}
+
+// checkConfinement flags unsafe imports and mmap syscalls outside bigio.
+func checkConfinement(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"unsafe"` && !pass.SuppressedAt(f, imp.Pos(), Directive) {
+				pass.Reportf(imp.Pos(), "unsafe import outside %s: the mapped-CSR reinterpretation lives there so the aliasing lifetime has one owner (or justify with //bc:mmapok <reason>)", bigioPath)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range []string{"Mmap", "Munmap"} {
+				if pass.IsPkgCall(call, "syscall", fn) && !pass.SuppressedAt(f, call.Pos(), Directive) {
+					pass.Reportf(call.Pos(), "syscall.%s outside %s: mappings are created and released in one package so every view's lifetime is accountable (or justify with //bc:mmapok <reason>)", fn, bigioPath)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMappedEscapes flags append/copy calls whose operands derive from a
+// mapped graph, per function.
+func checkMappedEscapes(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				// Function literals are visited again inside their
+				// enclosing declaration's walk; analyzing them there keeps
+				// captured mapped variables in scope, so skip the separate
+				// visit only when nested (the FuncDecl case recurses).
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, f, body)
+			return true
+		})
+	}
+}
+
+// checkFunc runs the mapped-taint scan over one function body (function
+// literals included — their captures see the same taint set).
+func checkFunc(pass *framework.Pass, file *ast.File, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+
+	// Pass 1: collect variables assigned from (*Mapped).Graph() or from a
+	// tainted expression. Iterate to a fixed point so declaration order
+	// within the body does not matter (g := m.Graph(); adj := g.Adj).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				ident, ok := assign.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ident]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[ident]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if isMappedExpr(pass, rhs, tainted) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag the grow/write builtins over tainted operands.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch fn.Name {
+		case "append":
+			if isMappedExpr(pass, call.Args[0], tainted) && !pass.SuppressedAt(file, call.Pos(), Directive) {
+				pass.Reportf(call.Pos(), "append on a mapped graph slice: mapped sections are read-only views with len == cap, so growing one either copies silently or writes the mapping; build into a fresh slice instead (or justify with //bc:mmapok <reason>)")
+			}
+		case "copy":
+			if len(call.Args) >= 2 && isMappedExpr(pass, call.Args[0], tainted) && !pass.SuppressedAt(file, call.Pos(), Directive) {
+				pass.Reportf(call.Pos(), "copy into a mapped graph slice writes a PROT_READ mapping; copy out of it into a heap slice instead (or justify with //bc:mmapok <reason>)")
+			}
+		}
+		return true
+	})
+}
+
+// isMappedExpr reports whether e denotes (part of) a mapped graph: a call
+// of (*Mapped).Graph(), a tainted variable, or a selection / index /
+// slice / Neighbors call rooted in one.
+func isMappedExpr(pass *framework.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && tainted[obj]
+	case *ast.SelectorExpr:
+		return isMappedExpr(pass, e.X, tainted)
+	case *ast.IndexExpr:
+		return isMappedExpr(pass, e.X, tainted)
+	case *ast.SliceExpr:
+		return isMappedExpr(pass, e.X, tainted)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if recvIsMapped(pass, sel) && sel.Sel.Name == "Graph" {
+				return true
+			}
+			// graph methods that return views: g.Neighbors(v) on a tainted g.
+			if isMappedExpr(pass, sel.X, tainted) && sel.Sel.Name == "Neighbors" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvIsMapped reports whether sel selects off a value of the Mapped type
+// (bigio.Mapped, which repro/graph re-exports as an alias of the same
+// named type).
+func recvIsMapped(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	t := pass.TypeOf(sel.X)
+	return t != nil && framework.IsNamed(t, bigioPath, "Mapped")
+}

@@ -1,0 +1,18 @@
+package mmapsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mmapsafe"
+)
+
+func TestMmapSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", mmapsafe.Analyzer, "mmapsafeuser")
+}
+
+// TestBigioExempt: the real home of unsafe and the mmap syscalls reports
+// nothing — the stub package at the real import path does all three.
+func TestBigioExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", mmapsafe.Analyzer, "repro/internal/bigio")
+}

@@ -1,0 +1,52 @@
+// Package mmapsafeuser exercises both mmapsafe rules from outside the
+// sanctioned package.
+package mmapsafeuser
+
+import (
+	"syscall"
+	"unsafe" // want `unsafe import outside repro/internal/bigio`
+
+	"repro/internal/bigio"
+	"repro/internal/graph"
+)
+
+// rogueMap re-creates a mapping outside bigio: both syscalls are flagged.
+func rogueMap(fd int) {
+	data, _ := syscall.Mmap(fd, 0, 4096, syscall.PROT_READ, syscall.MAP_SHARED) // want `syscall\.Mmap outside repro/internal/bigio`
+	_ = unsafe.Pointer(&data[0])
+	_ = syscall.Munmap(data) // want `syscall\.Munmap outside repro/internal/bigio`
+}
+
+// growMapped shows the taint rule: adjacency reached through a Mapped
+// handle must not feed append or be a copy destination.
+func growMapped() {
+	m, _ := bigio.Open("g.bcsr")
+	g := m.Graph()
+	adj := g.Adj
+
+	_ = append(adj, 1)           // want `append on a mapped graph slice`
+	_ = append(g.Adj, 1)         // want `append on a mapped graph slice`
+	_ = append(m.Graph().Adj, 1) // want `append on a mapped graph slice`
+
+	ns := g.Neighbors(0)
+	_ = append(ns, 1) // want `append on a mapped graph slice`
+
+	buf := make([]graph.Node, 4)
+	copy(g.Adj[:4], buf) // want `copy into a mapped graph slice`
+
+	// Copying OUT of the mapping into a heap slice is the sanctioned
+	// direction, as is appending mapped elements to a fresh slice.
+	copy(buf, g.Adj)
+	fresh := make([]graph.Node, 0, len(g.Adj))
+	fresh = append(fresh, g.Adj...)
+	_ = fresh
+
+	_ = append(g.Adj, 2) //bc:mmapok proving the reallocation behaviour in a test
+}
+
+// heapGraph is untainted: plain CSR graphs grow freely.
+func heapGraph() {
+	var g graph.Graph
+	g.Adj = append(g.Adj, 1)
+	_ = append(g.Neighbors(0), 2)
+}

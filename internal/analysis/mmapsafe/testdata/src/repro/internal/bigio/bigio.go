@@ -1,0 +1,39 @@
+// Package bigio is a stub of repro/internal/bigio at its real import
+// path: the one package where unsafe and the mmap syscalls are
+// sanctioned, so nothing in this file is flagged.
+package bigio
+
+import (
+	"syscall"
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// Mapped mirrors the real handle closely enough for receiver matching.
+type Mapped struct {
+	g    graph.Graph
+	data []byte
+}
+
+// Open stands in for the real mmap-backed open.
+func Open(path string) (*Mapped, error) {
+	fd, err := syscall.Open(path, syscall.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := syscall.Mmap(fd, 0, 4096, syscall.PROT_READ, syscall.MAP_SHARED)
+	syscall.Close(fd)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapped{data: data}
+	m.g.Offsets = unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), 1)
+	return m, nil
+}
+
+// Graph returns the mapped graph view.
+func (m *Mapped) Graph() *graph.Graph { return &m.g }
+
+// Close releases the mapping.
+func (m *Mapped) Close() error { return syscall.Munmap(m.data) }

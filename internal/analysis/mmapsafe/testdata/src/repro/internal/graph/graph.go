@@ -1,0 +1,17 @@
+// Package graph is a stub of repro/internal/graph at its real import
+// path, just deep enough for the mmapsafe taint rules to type-check.
+package graph
+
+// Node is a vertex identifier.
+type Node uint32
+
+// Graph is the CSR pair the mapped reader serves views of.
+type Graph struct {
+	Offsets []uint64
+	Adj     []Node
+}
+
+// Neighbors returns the adjacency view of v.
+func (g *Graph) Neighbors(v Node) []Node {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}

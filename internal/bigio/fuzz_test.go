@@ -1,0 +1,74 @@
+package bigio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzOpen feeds arbitrary bytes to the mapped opener. The contract under
+// test: Open either succeeds on a structurally valid file or returns an
+// error — it must never panic, fault, or over-allocate, whatever the
+// header claims. Successful opens must serve a traversable graph.
+func FuzzOpen(f *testing.F) {
+	g := graph.FromEdges(6, [][2]graph.Node{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}})
+	for _, opts := range []WriteOptions{{}, {Compress: true}, {Compress: true, BlockVerts: 2}} {
+		var buf bytes.Buffer
+		if err := Write(&buf, g, opts); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		f.Add(valid[:headerSize])
+		f.Add(valid[:len(valid)/2])
+		flipped := bytes.Clone(valid)
+		flipped[pageSize+3] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, headerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.bcsr")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		m, err := Open(path)
+		if err != nil {
+			return
+		}
+		defer m.Close()
+		// An accepted file must serve safely sliceable adjacency: the
+		// offsets monotonicity check bounds every Neighbors call.
+		mg := m.Graph()
+		for v := 0; v < mg.NumNodes(); v++ {
+			_ = mg.Neighbors(graph.Node(v))
+		}
+	})
+}
+
+// FuzzConvertEdgeList pushes arbitrary text through the streaming
+// converter: it must either produce a file the opener accepts or error
+// cleanly, never panic.
+func FuzzConvertEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# header\n5 5\n5 6\n")
+	f.Add("")
+	f.Add("1 2 3 4\n")
+	f.Add("x y\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		out := filepath.Join(t.TempDir(), "out.bcsr")
+		_, err := ConvertEdgeList(bytes.NewReader([]byte(input)), out, ConvertOptions{MemBytes: 256})
+		if err != nil {
+			return
+		}
+		m, err := Open(out)
+		if err != nil {
+			t.Fatalf("converter wrote a file Open rejects: %v", err)
+		}
+		m.Close()
+	})
+}

@@ -1,0 +1,29 @@
+//go:build !unix
+
+package bigio
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap falls back to reading the
+// file into an anonymous heap buffer. Opens stop being O(1) and the
+// zero-copy property is lost, but the format, the Mapped API, and every
+// caller behave identically; the alignment guarantees hold trivially.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	data := make([]byte, length)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, &os.PathError{Op: "read", Path: f.Name(), Err: err}
+	}
+	return data, nil
+}
+
+// munmap releases a fallback buffer: nothing to do, the GC owns it.
+func munmap(data []byte) error { return nil }
+
+// mmapSupported reports whether this platform maps files natively.
+const mmapSupported = false

@@ -1,0 +1,39 @@
+//go:build unix
+
+package bigio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the first length bytes of f read-only and shared. The
+// returned slice is page-aligned (the kernel guarantees the mapping base
+// is) and must be released with munmap. Only this file and its non-unix
+// fallback may call the raw syscalls — the mmapsafe analyzer pins mmap
+// and unsafe use to this package.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	if length == 0 {
+		// Zero-length mappings are an EINVAL on Linux; a BCSR v2 file is
+		// never empty (the header page alone is 4096 bytes), so this is
+		// unreachable for well-formed inputs, but keep it total.
+		return nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return data, nil
+}
+
+// munmap releases a mapping returned by mmapFile.
+func munmap(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// mmapSupported reports whether this platform maps files natively (as
+// opposed to the read-into-heap fallback).
+const mmapSupported = true

@@ -1,0 +1,73 @@
+package bigio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Varint/delta adjacency coding, the same unsigned-LEB128 technique the
+// epoch wire frames use (internal/epoch/wire.go). A vertex's neighbor
+// list is sorted and strictly increasing, so it encodes as the first
+// neighbor absolute followed by successive gaps minus one; degrees come
+// from the offsets section, so groups need no length prefix. Typical
+// social/web graphs land near 1 byte per entry versus 4 raw.
+
+// appendAdjGroup appends the varint group for one vertex's sorted
+// neighbor list to dst and returns the extended slice.
+func appendAdjGroup(dst []byte, neighbors []graph.Node) []byte {
+	prev := uint64(0)
+	for i, v := range neighbors {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(v))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(v)-prev-1)
+		}
+		prev = uint64(v)
+	}
+	return dst
+}
+
+// decodeAdjBlock decodes the varint groups of vertices [first, last) from
+// data into out, which must hold exactly the block's adjacency entries
+// (offsets[last]-offsets[first] of them). It rejects short data, trailing
+// bytes, malformed varints, and decoded values outside [0, numNodes).
+func decodeAdjBlock(data []byte, offsets []uint64, first, last, numNodes uint64, out []graph.Node) error {
+	pos := 0
+	o := 0
+	for v := first; v < last; v++ {
+		deg := offsets[v+1] - offsets[v]
+		prev := uint64(0)
+		for i := uint64(0); i < deg; i++ {
+			val, n := binary.Uvarint(data[pos:])
+			if n <= 0 {
+				return fmt.Errorf("vertex %d: truncated or overlong varint", v)
+			}
+			pos += n
+			// Neither a neighbor nor a gap between neighbors can reach
+			// numNodes; rejecting here also keeps prev+val+1 below 2^41,
+			// so the delta sum cannot wrap.
+			if val >= numNodes {
+				return fmt.Errorf("vertex %d: varint value %d out of range [0, %d)", v, val, numNodes)
+			}
+			if i == 0 {
+				prev = val
+			} else {
+				// Gap-minus-one keeps lists strictly increasing by
+				// construction; overflow of prev+val+1 would wrap below
+				// prev and fail the bound check.
+				prev = prev + val + 1
+			}
+			if prev >= numNodes {
+				return fmt.Errorf("vertex %d: neighbor %d out of range [0, %d)", v, prev, numNodes)
+			}
+			out[o] = graph.Node(prev)
+			o++
+		}
+	}
+	if pos != len(data) {
+		return fmt.Errorf("block [%d, %d): %d trailing bytes", first, last, len(data)-pos)
+	}
+	return nil
+}

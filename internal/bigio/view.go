@@ -1,0 +1,84 @@
+package bigio
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// In-place section views. A mapped BCSR v2 file serves its offsets and
+// adjacency sections as []uint64 / []graph.Node slices aliasing the
+// mapping, with no copy into the Go heap. Two facts make the
+// reinterpretation sound:
+//
+//   - alignment: mappings are page-aligned and every section offset is a
+//     multiple of pageSize, so a section base is always 8-byte aligned;
+//   - byte order: the format is little-endian, and hostLittleEndian
+//     verifies at init that the host is too (every platform this repo
+//     targets is; a big-endian port would read sections through
+//     binary.LittleEndian instead of taking views).
+//
+// These are the only unsafe conversions in the repository; the mmapsafe
+// analyzer keeps it that way.
+
+// hostLittleEndian reports whether the host stores integers little-endian.
+var hostLittleEndian = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// viewUint64 reinterprets an 8-byte-aligned little-endian byte section as
+// a []uint64 without copying.
+func viewUint64(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// viewNodes reinterprets a 4-byte-aligned little-endian byte section as a
+// []graph.Node without copying.
+func viewNodes(b []byte) []graph.Node {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*graph.Node)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// copyUint64 is the big-endian fallback: decode the section into a heap
+// slice through binary.LittleEndian.
+func copyUint64(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// copyNodes is the big-endian fallback for adjacency sections.
+func copyNodes(b []byte) []graph.Node {
+	out := make([]graph.Node, len(b)/4)
+	for i := range out {
+		out[i] = graph.Node(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// sectionUint64 returns the section as []uint64, zero-copy when the host
+// byte order allows it.
+func sectionUint64(b []byte) []uint64 {
+	if hostLittleEndian {
+		return viewUint64(b)
+	}
+	return copyUint64(b)
+}
+
+// sectionNodes returns the section as []graph.Node, zero-copy when the
+// host byte order allows it.
+func sectionNodes(b []byte) []graph.Node {
+	if hostLittleEndian {
+		return viewNodes(b)
+	}
+	return copyNodes(b)
+}

@@ -52,55 +52,23 @@ func Graph500(scale, edgeFactor int, seed uint64) RMATParams {
 
 // RMAT generates an R-MAT graph. Self loops and duplicate edges are removed
 // by the builder, so the realized edge count is slightly below
-// EdgeFactor * 2^Scale, as with the real Graph500 kernel.
+// EdgeFactor * 2^Scale, as with the real Graph500 kernel. The edge
+// sequence comes from StreamRMAT, so the materialized and streamed paths
+// produce identical graphs by construction.
 func RMAT(p RMATParams) *graph.Graph {
 	if p.Scale < 0 || p.Scale > 30 {
 		panic("gen: RMAT scale out of range [0, 30]")
 	}
-	n := 1 << p.Scale
-	m := p.EdgeFactor * n
-	r := rng.NewRand(p.Seed)
-	b := graph.NewBuilder(n)
-	d := 1 - p.A - p.B - p.C
-	for i := 0; i < m; i++ {
-		u, v := 0, 0
-		for level := 0; level < p.Scale; level++ {
-			a, bb, c, dd := p.A, p.B, p.C, d
-			if p.Noise > 0 {
-				// Multiplicative noise, renormalized.
-				a *= 1 - p.Noise/2 + p.Noise*r.Float64()
-				bb *= 1 - p.Noise/2 + p.Noise*r.Float64()
-				c *= 1 - p.Noise/2 + p.Noise*r.Float64()
-				dd *= 1 - p.Noise/2 + p.Noise*r.Float64()
-				s := a + bb + c + dd
-				a, bb, c = a/s, bb/s, c/s
-			}
-			x := r.Float64()
-			switch {
-			case x < a:
-				// upper-left quadrant: no bits set
-			case x < a+bb:
-				v |= 1 << level
-			case x < a+bb+c:
-				u |= 1 << level
-			default:
-				u |= 1 << level
-				v |= 1 << level
-			}
-		}
-		b.AddEdge(graph.Node(u), graph.Node(v))
-	}
+	b := graph.NewBuilder(1 << p.Scale)
+	StreamRMAT(p, func(u, v graph.Node) error { b.AddEdge(u, v); return nil })
 	return b.Build()
 }
 
 // ErdosRenyi generates G(n, m): m edges sampled uniformly (with rejection of
 // duplicates left to the builder).
 func ErdosRenyi(n, m int, seed uint64) *graph.Graph {
-	r := rng.NewRand(seed)
 	b := graph.NewBuilder(n)
-	for i := 0; i < m; i++ {
-		b.AddEdge(graph.Node(r.Intn(n)), graph.Node(r.Intn(n)))
-	}
+	StreamErdosRenyi(n, m, seed, func(u, v graph.Node) error { b.AddEdge(u, v); return nil })
 	return b.Build()
 }
 
@@ -157,23 +125,8 @@ func Road(p RoadParams) *graph.Graph {
 	if p.Rows < 1 || p.Cols < 1 {
 		panic("gen: Road needs positive dimensions")
 	}
-	r := rng.NewRand(p.Seed)
-	n := p.Rows * p.Cols
-	b := graph.NewBuilder(n)
-	id := func(i, j int) graph.Node { return graph.Node(i*p.Cols + j) }
-	for i := 0; i < p.Rows; i++ {
-		for j := 0; j < p.Cols; j++ {
-			if j+1 < p.Cols && r.Float64() >= p.DeleteProb {
-				b.AddEdge(id(i, j), id(i, j+1))
-			}
-			if i+1 < p.Rows && r.Float64() >= p.DeleteProb {
-				b.AddEdge(id(i, j), id(i+1, j))
-			}
-			if i+1 < p.Rows && j+1 < p.Cols && r.Float64() < p.DiagonalProb {
-				b.AddEdge(id(i, j), id(i+1, j+1))
-			}
-		}
-	}
+	b := graph.NewBuilder(p.Rows * p.Cols)
+	StreamRoad(p, func(u, v graph.Node) error { b.AddEdge(u, v); return nil })
 	return b.Build()
 }
 

@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestStreamMatchesMaterialized pins the core streaming property: the
+// callback variants emit exactly the edge sequence the materializing
+// generators consume, so building from the stream reproduces the graph.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	collect := func(n int, stream func(emit func(u, v graph.Node) error) error) *graph.Graph {
+		b := graph.NewBuilder(n)
+		if err := stream(func(u, v graph.Node) error { b.AddEdge(u, v); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return b.Build()
+	}
+	same := func(name string, got, want *graph.Graph) {
+		if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("%s: stream graph %d/%d differs from materialized %d/%d",
+				name, got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+		}
+		for v := 0; v < want.NumNodes(); v++ {
+			gn, wn := got.Neighbors(graph.Node(v)), want.Neighbors(graph.Node(v))
+			if len(gn) != len(wn) {
+				t.Fatalf("%s: vertex %d degree %d != %d", name, v, len(gn), len(wn))
+			}
+			for i := range gn {
+				if gn[i] != wn[i] {
+					t.Fatalf("%s: vertex %d neighbor %d: %d != %d", name, v, i, gn[i], wn[i])
+				}
+			}
+		}
+	}
+
+	rp := Graph500(8, 8, 7)
+	same("rmat", collect(1<<rp.Scale, func(emit func(u, v graph.Node) error) error {
+		return StreamRMAT(rp, emit)
+	}), RMAT(rp))
+
+	same("er", collect(200, func(emit func(u, v graph.Node) error) error {
+		return StreamErdosRenyi(200, 1000, 3, emit)
+	}), ErdosRenyi(200, 1000, 3))
+
+	road := RoadParams{Rows: 20, Cols: 25, DeleteProb: 0.1, DiagonalProb: 0.05, Seed: 9}
+	same("road", collect(road.Rows*road.Cols, func(emit func(u, v graph.Node) error) error {
+		return StreamRoad(road, emit)
+	}), Road(road))
+}
+
+// TestStreamStopsOnError checks emit errors abort generation.
+func TestStreamStopsOnError(t *testing.T) {
+	calls := 0
+	err := StreamErdosRenyi(10, 100, 1, func(u, v graph.Node) error {
+		calls++
+		if calls == 3 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop {
+		t.Fatalf("err = %v, want errStop", err)
+	}
+	if calls != 3 {
+		t.Fatalf("emit called %d times, want 3", calls)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }

@@ -38,17 +38,17 @@ func ConnectedComponents(g *Graph) (labels []int32, sizes []int) {
 // LargestComponent returns the induced subgraph on the largest connected
 // component, as the paper does for disconnected inputs (§V-A: "For
 // disconnected graphs, we consider the largest connected component)".
-// The second return value maps old vertex IDs to new ones for vertices that
-// were kept.
+// The second return value maps old vertex IDs to new ones for vertices
+// that were kept; a nil map means the graph was already connected and is
+// returned as-is (identity mapping). The nil convention matters at
+// billion-edge scale: the connected fast path must not materialize an
+// n-entry identity map — or copy the graph — when the input is a mapped
+// BCSR v2 file served straight off the page cache.
 func LargestComponent(g *Graph) (*Graph, map[Node]Node) {
 	labels, sizes := ConnectedComponents(g)
 	if len(sizes) <= 1 {
-		// Already connected (or empty); return g itself with an identity map.
-		remap := make(map[Node]Node, g.NumNodes())
-		for v := 0; v < g.NumNodes(); v++ {
-			remap[Node(v)] = Node(v)
-		}
-		return g, remap
+		// Already connected (or empty); g itself, identity (nil) remap.
+		return g, nil
 	}
 	best := 0
 	for i, s := range sizes {

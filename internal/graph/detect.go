@@ -26,7 +26,8 @@ type Format int
 const (
 	// FormatUnknown reports that no format could be determined.
 	FormatUnknown Format = iota
-	// FormatBCSR is the binary CSR snapshot (undirected).
+	// FormatBCSR is the binary CSR snapshot, version 1 (undirected,
+	// heap-loaded by ReadBinary).
 	FormatBCSR
 	// FormatEdgeList is the undirected "u v" text format (also matches a
 	// headerless arc list — the two are syntactically identical).
@@ -36,12 +37,17 @@ const (
 	FormatArcList
 	// FormatWeightedEdgeList is the "u v weight" text format.
 	FormatWeightedEdgeList
+	// FormatBCSR2 is the section-based binary CSR snapshot, version 2
+	// (undirected, page-aligned, opened by mmap — see internal/bigio).
+	FormatBCSR2
 )
 
 func (f Format) String() string {
 	switch f {
 	case FormatBCSR:
 		return "bcsr"
+	case FormatBCSR2:
+		return "bcsr2"
 	case FormatEdgeList:
 		return "edge-list"
 	case FormatArcList:
@@ -53,6 +59,42 @@ func (f Format) String() string {
 	}
 }
 
+// bcsrMagicPrefix is the high 32 bits shared by every BCSR version's magic
+// word; the low 32 bits carry the format version (see BCSRMagic).
+const bcsrMagicPrefix = uint32(0x42435352) // "BCSR"
+
+// BCSRMagic returns the little-endian on-disk magic word of BCSR format
+// version v: the "BCSR" tag in the high 32 bits, the version in the low 32.
+func BCSRMagic(version uint32) uint64 {
+	return uint64(bcsrMagicPrefix)<<32 | uint64(version)
+}
+
+// ErrBCSRVersion is the errors.Is target of BCSRVersionError.
+var ErrBCSRVersion = fmt.Errorf("graph: unsupported BCSR version")
+
+// BCSRVersionError reports a BCSR file whose version does not match the
+// reader it was handed: a v3+ (or v0) file on any loader, a v2 file on the
+// v1-only ReadBinary, or a v1 file on the v2-only mapped opener. It is the
+// typed "version skew" error DetectFormat and the binary readers return so
+// callers can distinguish it from a generic sniff failure.
+type BCSRVersionError struct {
+	// Version is the version field of the file's magic word.
+	Version uint64
+	// Hint names the reader that can load the file, when one exists.
+	Hint string
+}
+
+func (e *BCSRVersionError) Error() string {
+	msg := fmt.Sprintf("graph: unsupported BCSR version %d", e.Version)
+	if e.Hint != "" {
+		msg += " (" + e.Hint + ")"
+	}
+	return msg
+}
+
+// Is reports ErrBCSRVersion as the errors.Is target.
+func (e *BCSRVersionError) Is(target error) bool { return target == ErrBCSRVersion }
+
 // detectPeek bounds how far the sniffer looks: enough for a generous run
 // of comment lines before the first data line.
 const detectPeek = 64 * 1024
@@ -62,21 +104,25 @@ const detectPeek = 64 * 1024
 // so it can be handed straight to the matching Read function. Detection
 // rules, in order:
 //
-//   - the BCSR magic number -> FormatBCSR
+//   - the BCSR magic word -> FormatBCSR (version 1) or FormatBCSR2
+//     (version 2); a BCSR magic with any other version returns
+//     FormatUnknown and a *BCSRVersionError, so version skew is reported
+//     as such instead of as a generic sniff failure
 //   - a writer header comment ("# directed graph", "# weighted undirected
 //     graph", "# undirected graph") -> the corresponding text format
 //   - the first non-comment line: 3+ fields where the third parses as a
 //     number -> FormatWeightedEdgeList, 2 fields -> FormatEdgeList
 //
 // An empty or indecipherable head returns FormatUnknown with a nil error;
-// only a read failure returns an error.
+// a read failure or a version-skewed BCSR head returns an error.
 func DetectFormat(r io.Reader) (Format, io.Reader, error) {
 	br := bufio.NewReaderSize(r, detectPeek)
 	head, err := br.Peek(detectPeek)
 	if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
 		return FormatUnknown, br, err
 	}
-	return sniff(head), br, nil
+	f, err := sniff(head)
+	return f, br, err
 }
 
 // DetectFormatFile sniffs the format of the file at path, preferring the
@@ -99,9 +145,21 @@ func DetectFormatFile(path string) (Format, error) {
 }
 
 // sniff applies the detection rules to the peeked head bytes.
-func sniff(head []byte) Format {
-	if len(head) >= 8 && binary.LittleEndian.Uint64(head[:8]) == bcsrMagic {
-		return FormatBCSR
+func sniff(head []byte) (Format, error) {
+	if len(head) >= 8 {
+		if word := binary.LittleEndian.Uint64(head[:8]); uint32(word>>32) == bcsrMagicPrefix {
+			switch uint32(word) {
+			case 1:
+				return FormatBCSR, nil
+			case 2:
+				return FormatBCSR2, nil
+			default:
+				return FormatUnknown, &BCSRVersionError{
+					Version: word & 0xffffffff,
+					Hint:    "this build reads v1 and v2",
+				}
+			}
+		}
 	}
 	// Walk the head line by line; the last line may be truncated by the
 	// peek window, so only use it if it is comment-terminated or we have
@@ -120,25 +178,25 @@ func sniff(head []byte) Format {
 		if text[0] == '#' || text[0] == '%' {
 			switch {
 			case strings.Contains(text, "directed graph") && !strings.Contains(text, "undirected"):
-				return FormatArcList
+				return FormatArcList, nil
 			case strings.Contains(text, "weighted undirected graph"):
-				return FormatWeightedEdgeList
+				return FormatWeightedEdgeList, nil
 			case strings.Contains(text, "undirected graph"):
-				return FormatEdgeList
+				return FormatEdgeList, nil
 			}
 			continue
 		}
 		fields := strings.Fields(text)
 		switch {
 		case len(fields) >= 3 && isUint(fields[0]) && isUint(fields[1]) && isNumber(fields[2]):
-			return FormatWeightedEdgeList
+			return FormatWeightedEdgeList, nil
 		case len(fields) == 2 && isUint(fields[0]) && isUint(fields[1]):
-			return FormatEdgeList
+			return FormatEdgeList, nil
 		default:
-			return FormatUnknown
+			return FormatUnknown, nil
 		}
 	}
-	return FormatUnknown
+	return FormatUnknown, nil
 }
 
 // isNumber accepts the weight column: any valid float, integer included.

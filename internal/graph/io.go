@@ -60,7 +60,10 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-const bcsrMagic = uint64(0x42435352_00000001) // "BCSR" + version 1
+// bcsrMagic is the magic word of BCSR version 1, the heap-loaded format
+// this file implements. Version 2 (page-aligned sections, opened by mmap)
+// lives in internal/bigio; see BCSRMagic for the shared magic scheme.
+var bcsrMagic = BCSRMagic(1)
 
 // WriteBinary writes g in the BCSR binary format.
 func WriteBinary(w io.Writer, g *Graph) error {
@@ -86,6 +89,13 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: reading BCSR header: %w", err)
 	}
 	if hdr[0] != bcsrMagic {
+		if uint32(hdr[0]>>32) == bcsrMagicPrefix {
+			// A BCSR file of another version: report the skew as such.
+			return nil, &BCSRVersionError{
+				Version: hdr[0] & 0xffffffff,
+				Hint:    "ReadBinary reads v1 only; v2 opens via LoadFile or the mapped loader",
+			}
+		}
 		return nil, fmt.Errorf("graph: bad BCSR magic %#x", hdr[0])
 	}
 	n, m2 := hdr[1], hdr[2]

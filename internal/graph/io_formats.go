@@ -34,6 +34,14 @@ func lineScanner(r io.Reader, fn func(line int, fields []string) error) error {
 	return sc.Err()
 }
 
+// ScanEdgeLines exposes the text-reader scanning loop — comment and blank
+// lines skipped, fields split on whitespace — for streaming consumers
+// (internal/bigio's out-of-core converter) that must tokenize edge lists
+// exactly as ReadEdgeList does without materializing the edges.
+func ScanEdgeLines(r io.Reader, fn func(line int, fields []string) error) error {
+	return lineScanner(r, fn)
+}
+
 // interner densely renumbers raw vertex IDs in order of first appearance.
 type interner map[uint64]Node
 

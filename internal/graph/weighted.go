@@ -122,15 +122,12 @@ func FromWeightedEdges(n int, edges []WeightedEdge) (*WGraph, error) {
 // LargestComponentW returns the induced weighted subgraph on the largest
 // connected component of g (weights carried over), with the old->new vertex
 // mapping — the weighted analogue of LargestComponent, mirroring the
-// paper's §V-A preprocessing for the weighted estimation path.
+// paper's §V-A preprocessing for the weighted estimation path. As there, a
+// nil map means the graph was already connected and is returned as-is.
 func LargestComponentW(g *WGraph) (*WGraph, map[Node]Node) {
 	labels, sizes := ConnectedComponents(g.Unweighted())
 	if len(sizes) <= 1 {
-		remap := make(map[Node]Node, g.NumNodes())
-		for v := 0; v < g.NumNodes(); v++ {
-			remap[Node(v)] = Node(v)
-		}
-		return g, remap
+		return g, nil
 	}
 	best := 0
 	for i, s := range sizes {

@@ -1,0 +1,91 @@
+// Package memprof reports process memory usage for the ingest-tier
+// acceptance checks: the Go heap's view (runtime.MemStats) alongside the
+// kernel's (VmHWM/VmRSS from /proc/self/status, where available).
+//
+// The pair is what distinguishes a mapped graph from a heap copy. An
+// mmap-served CSR keeps HeapSys small and flat regardless of graph size —
+// the adjacency lives in the page cache, visible (partially, only the
+// pages actually touched) in VmRSS but never in the heap — while a loader
+// that copies the graph shows up in both. The ingest smoke test bounds
+// HeapSys to catch regressions that silently rematerialize the graph.
+package memprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Stats is a point-in-time memory snapshot.
+type Stats struct {
+	HeapAlloc  uint64 // bytes of live heap objects
+	HeapSys    uint64 // bytes of heap obtained from the OS (the bound that matters)
+	TotalAlloc uint64 // cumulative bytes allocated (churn, not residency)
+	VmHWM      uint64 // peak resident set, bytes (0 if /proc is unavailable)
+	VmRSS      uint64 // current resident set, bytes (0 if /proc is unavailable)
+}
+
+// Read captures the current memory stats. It does not force a GC: the
+// HeapSys bound is about pages requested from the OS, which a GC does not
+// return promptly anyway.
+func Read() Stats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := Stats{HeapAlloc: ms.HeapAlloc, HeapSys: ms.HeapSys, TotalAlloc: ms.TotalAlloc}
+	s.VmHWM, s.VmRSS = procStatus()
+	return s
+}
+
+// Report writes the snapshot in the "key: value" shape the ingest smoke
+// script greps, one stat per line, sizes in MiB.
+func (s Stats) Report(w io.Writer) {
+	mib := func(b uint64) float64 { return float64(b) / (1 << 20) }
+	fmt.Fprintf(w, "mem heap-alloc: %.1f MiB\n", mib(s.HeapAlloc))
+	fmt.Fprintf(w, "mem heap-sys: %.1f MiB\n", mib(s.HeapSys))
+	fmt.Fprintf(w, "mem total-alloc: %.1f MiB\n", mib(s.TotalAlloc))
+	if s.VmHWM > 0 {
+		fmt.Fprintf(w, "mem rss-peak: %.1f MiB\n", mib(s.VmHWM))
+	}
+	if s.VmRSS > 0 {
+		fmt.Fprintf(w, "mem rss: %.1f MiB\n", mib(s.VmRSS))
+	}
+}
+
+// procStatus pulls VmHWM and VmRSS (in bytes) out of /proc/self/status.
+// Returns zeros anywhere the file does not exist or does not parse —
+// callers treat 0 as "unknown".
+func procStatus() (hwm, rss uint64) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "VmHWM:"):
+			hwm = parseKiBLine(line)
+		case strings.HasPrefix(line, "VmRSS:"):
+			rss = parseKiBLine(line)
+		}
+	}
+	return hwm, rss
+}
+
+// parseKiBLine parses a "VmXXX:   12345 kB" status line into bytes.
+func parseKiBLine(line string) uint64 {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0
+	}
+	v, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v << 10
+}

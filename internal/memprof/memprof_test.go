@@ -1,0 +1,31 @@
+package memprof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadAndReport(t *testing.T) {
+	s := Read()
+	if s.HeapSys == 0 || s.TotalAlloc == 0 {
+		t.Fatalf("runtime stats missing: %+v", s)
+	}
+	var buf bytes.Buffer
+	s.Report(&buf)
+	out := buf.String()
+	for _, want := range []string{"mem heap-alloc:", "mem heap-sys:", "mem total-alloc:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseKiBLine(t *testing.T) {
+	if got := parseKiBLine("VmHWM:     1024 kB"); got != 1<<20 {
+		t.Errorf("parseKiBLine = %d, want %d", got, 1<<20)
+	}
+	if got := parseKiBLine("garbage"); got != 0 {
+		t.Errorf("parseKiBLine(garbage) = %d, want 0", got)
+	}
+}

@@ -145,7 +145,11 @@ func (srv *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 	if err := srv.persistGraph(g); err != nil {
 		srv.mu.Lock()
 		delete(srv.graphs, g.name)
+		canClose := g.refs == 0 // a racing session create may already hold the mapping
 		srv.mu.Unlock()
+		if canClose {
+			g.closeMapping()
+		}
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting graph: %w", err))
 		return
 	}
@@ -197,6 +201,7 @@ func (srv *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 	delete(srv.graphs, name)
 	srv.mu.Unlock()
 	srv.dropGraphFiles(name)
+	g.closeMapping() // refs == 0 and the registry no longer hands the entry out
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"repro/betweenness"
 	"repro/graph"
@@ -27,9 +28,30 @@ type graphEntry struct {
 	reduced bool
 	refs    int
 
-	und *graph.Graph
+	// und is an atomic pointer because it is the one graph field rewritten
+	// after registration: persistGraph swaps the upload's heap CSR for the
+	// mmap of the persisted BCSR v2 file, while sessions may concurrently
+	// read it (buildSession, rebuild) without holding srv.mu. Both values
+	// are immutable, so the pointer swap is the only synchronization needed.
+	und atomic.Pointer[graph.Graph]
 	dig *graph.Digraph
 	wgt *graph.WGraph
+
+	// mapped, when non-nil, is the mmap handle und is served from: the
+	// persisted BCSR v2 file, opened after registration (or at startup
+	// rehydration) so sessions share the page cache instead of a heap
+	// copy. Closed when the entry is deleted; the refs counter already
+	// guarantees no session outlives it.
+	mapped *graph.Mapped
+}
+
+// closeMapping releases the entry's mmap, if any. Call only once the
+// entry has left the registry with refs == 0.
+func (g *graphEntry) closeMapping() {
+	if g.mapped != nil {
+		g.mapped.Close()
+		g.mapped = nil
+	}
 }
 
 // workload builds the tagged workload for this graph. Construction is
@@ -41,7 +63,7 @@ func (g *graphEntry) workload() betweenness.Workload {
 	case betweenness.WorkloadWeighted:
 		return betweenness.Weighted(g.wgt)
 	default:
-		return betweenness.Undirected(g.und)
+		return betweenness.Undirected(g.und.Load())
 	}
 }
 
@@ -90,7 +112,7 @@ func buildGraphEntry(name string, r io.Reader, kindStr string) (*graphEntry, err
 		if err != nil {
 			return nil, err
 		}
-		if format == graph.FormatBCSR && override != betweenness.WorkloadUndirected {
+		if (format == graph.FormatBCSR || format == graph.FormatBCSR2) && override != betweenness.WorkloadUndirected {
 			return nil, fmt.Errorf("BCSR uploads are undirected; cannot register as %s", override)
 		}
 		if format == graph.FormatWeightedEdgeList && override == betweenness.WorkloadDirected {
@@ -125,9 +147,15 @@ func buildGraphEntry(name string, r io.Reader, kindStr string) (*graphEntry, err
 		e.wgt, e.nodes, e.edges, e.digest = lcc, lcc.NumNodes(), lcc.NumEdges(), lcc.Digest()
 	default:
 		var g *graph.Graph
-		if format == graph.FormatBCSR {
+		switch format {
+		case graph.FormatBCSR:
 			g, err = graph.ReadBinary(r)
-		} else {
+		case graph.FormatBCSR2:
+			// Upload bodies are streams, so the v2 image decodes in
+			// memory here; the persisted copy is what sessions are
+			// served from by mmap (see Server.persistGraph).
+			g, err = graph.ReadBCSR2(r)
+		default:
 			g, err = graph.ReadEdgeList(r)
 		}
 		if err != nil {
@@ -138,7 +166,8 @@ func buildGraphEntry(name string, r io.Reader, kindStr string) (*graphEntry, err
 			return nil, err
 		}
 		e.reduced = lcc.NumNodes() != g.NumNodes()
-		e.und, e.nodes, e.edges, e.digest = lcc, lcc.NumNodes(), lcc.NumEdges(), lcc.Digest()
+		e.und.Store(lcc)
+		e.nodes, e.edges, e.digest = lcc.NumNodes(), lcc.NumEdges(), lcc.Digest()
 	}
 	if e.name == "" {
 		// Content-addressed default: stable across re-uploads of the same

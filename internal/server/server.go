@@ -35,6 +35,13 @@
 //     of rank death retry with exponential backoff on a shrunken world,
 //     then degrade to the shared-memory backend, with the degradation
 //     surfaced in session status rather than a bare 500.
+//   - Undirected uploads persist as BCSR v2 and are served by mmap: once
+//     the graph file is durable, the registry entry swaps its heap CSR
+//     for a mapping of the persisted bytes (graph.OpenMapped), so every
+//     session on the graph — in this process lifetime and after any
+//     restart — shares the kernel page cache instead of a per-daemon heap
+//     copy. BCSR v2 bodies are also accepted directly on upload, which is
+//     how graphconv output reaches the daemon without a text round trip.
 package server
 
 import (

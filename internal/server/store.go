@@ -19,8 +19,9 @@ import (
 // bytes or its new bytes in full, never a torn mix):
 //
 //	graphs/<name>.json     graph metadata (kind, digest, sizes)
-//	graphs/<name>.graph    canonical graph bytes (BCSR for undirected,
-//	                       arc list / weighted edge list for the others)
+//	graphs/<name>.graph    canonical graph bytes (BCSR v2 for undirected —
+//	                       served back to sessions by mmap — arc list /
+//	                       weighted edge list for the others)
 //	sessions/<id>.json     session metadata (params + outcome flags)
 //	sessions/<id>.bck      estimator checkpoint (the versioned BCSE
 //	                       envelope from betweenness.Checkpoint)
@@ -138,7 +139,10 @@ func writeJSONAtomic(path string, v any) error {
 }
 
 // persistGraph writes the graph's canonical bytes and metadata. No-op
-// without a data dir.
+// without a data dir. Undirected graphs persist as BCSR v2 and, once the
+// file is durable, the entry is switched to serve sessions off the mmap
+// of that file — the upload's heap copy becomes garbage and the page
+// cache backs every session that follows.
 func (srv *Server) persistGraph(g *graphEntry) error {
 	if srv.cfg.DataDir == "" {
 		return nil
@@ -154,11 +158,23 @@ func (srv *Server) persistGraph(g *graphEntry) error {
 		case betweenness.WorkloadWeighted:
 			return graph.WriteWeightedEdgeList(w, g.wgt)
 		default:
-			return graph.WriteBinary(w, g.und)
+			return graph.WriteBCSR2(w, g.und.Load(), graph.WriteOptions{})
 		}
 	})
 	if err != nil {
 		return err
+	}
+	if g.kind == betweenness.WorkloadUndirected {
+		if m, err := graph.OpenMapped(path); err == nil {
+			srv.mu.Lock()
+			g.mapped = m
+			srv.mu.Unlock()
+			g.und.Store(m.Graph())
+		} else {
+			// Serving the heap copy is always correct; the mapping is an
+			// optimization, so its failure only costs memory.
+			srv.cfg.Logf("warning: mapping persisted graph %q: %v", g.name, err)
+		}
 	}
 	return writeJSONAtomic(filepath.Join(srv.graphsDir(), g.name+".json"), graphMeta{
 		Name:    g.name,
@@ -351,13 +367,25 @@ func (srv *Server) loadGraphEntry(metaPath string) (*graphEntry, error) {
 	case betweenness.WorkloadWeighted:
 		g.wgt, err = graph.LoadWGraphFile(path)
 	default:
-		f, ferr := os.Open(path)
-		if ferr != nil {
-			err = ferr
+		var m *graph.Mapped
+		m, err = graph.OpenMapped(path)
+		if err == nil {
+			g.mapped = m
+			g.und.Store(m.Graph())
 			break
 		}
-		g.und, err = graph.ReadBinary(f)
-		f.Close()
+		if errors.Is(err, graph.ErrBCSRVersion) {
+			// A store written before the v2 format: load the v1 bytes to
+			// the heap this once; the next persist rewrites them as v2.
+			var f *os.File
+			f, err = os.Open(path)
+			if err == nil {
+				var und *graph.Graph
+				und, err = graph.ReadBinary(f)
+				f.Close()
+				g.und.Store(und)
+			}
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("loading graph %s: %w", meta.Name, err)

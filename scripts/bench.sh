@@ -49,6 +49,12 @@ go test -run '^$' -bench '^BenchmarkEstimateDegraded$' -benchtime "$benchtime" \
 go test -run '^$' -bench '^BenchmarkServer' -benchtime "$benchtime" \
     -count "$count" -timeout 30m ./internal/server/ | tee -a "$raw"
 
+# The ingest tier: out-of-core converter throughput (MB/s of edge
+# stream), mmap open latency (raw vs compressed), and mapped-vs-heap
+# adjacency scan throughput (internal/bigio).
+go test -run '^$' -bench '^BenchmarkIngest' -benchtime "$benchtime" \
+    -count "$count" -timeout 30m ./internal/bigio/ | tee -a "$raw"
+
 # Convert the benchmark lines into a JSON array. A line looks like:
 #   BenchmarkEstimate/undirected/tcp-8  2  123456789 ns/op  54321 samples/s
 # i.e. name, iterations, then (value, unit) pairs. Estimate cells carry
@@ -87,6 +93,14 @@ BEGIN { print "[" ; n = 0 }
     name = $1
     sub(/-[0-9]+$/, "", name)
     line = sprintf("  {\"name\": \"%s\", \"tier\": \"server\", \"benchtime\": \"%s\", \"iterations\": %s", \
+                   name, benchtime, $2)
+    if (n++) print ","
+    printf "%s", metrics(line)
+}
+/^BenchmarkIngest/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("  {\"name\": \"%s\", \"tier\": \"ingest\", \"benchtime\": \"%s\", \"iterations\": %s", \
                    name, benchtime, $2)
     if (n++) print ","
     printf "%s", metrics(line)
